@@ -1,0 +1,53 @@
+// Enclave-migration extension experiment (paper §VIII future work):
+// replays the Borg slice with 100 % SGX jobs, with and without the
+// defragmentation controller that live-migrates enclaves to make room for
+// blocked pods (secure checkpoint/restore à la Gu et al., DSN'17).
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "exp/replay.hpp"
+
+using namespace sgxo;
+
+int main() {
+  std::cout << "# Enclave live migration — EPC defragmentation what-if\n"
+               "(100% SGX jobs, binpack; migration controller every 30 s;\n"
+               " three trace seeds per configuration)\n\n";
+
+  Table table({"seed", "configuration", "makespan", "mean wait [s]",
+               "p95 wait [s]", "max wait [s]", "starved jobs"});
+  for (const std::uint64_t seed : {2011ULL, 7ULL, 99ULL}) {
+    for (const bool migration : {false, true}) {
+      exp::ReplayOptions options;
+      options.sgx_fraction = 1.0;
+      options.policy = core::PlacementPolicy::kBinpack;
+      options.enable_migration = migration;
+      options.trace_config.seed = seed;
+      const exp::ReplayResult result = exp::run_replay(options);
+
+      OnlineStats stats;
+      for (const double w : result.waiting_seconds()) stats.add(w);
+      const EmpiricalCdf cdf{result.waiting_seconds()};
+      const std::size_t starved = result.jobs.size() -
+                                  result.failed_jobs -
+                                  result.waiting_seconds().size();
+      table.add_row({std::to_string(seed),
+                     migration ? "with migration" : "without migration",
+                     to_string(result.makespan), fmt_double(stats.mean(), 1),
+                     fmt_double(cdf.quantile(0.95), 1),
+                     fmt_double(cdf.max(), 1), std::to_string(starved)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nexpected: migration helps when free EPC is *fragmented* —\n"
+               "a large pending pod fits nowhere although the cluster has\n"
+               "room. Uniform replays only fragment occasionally, so the\n"
+               "benefit concentrates in the tail (p95/max) and varies by\n"
+               "seed; the paper anticipates this integration 'towards a\n"
+               "globally optimized EPC utilization' (§VII). The\n"
+               "tests/core/migration_controller_test.cpp scenarios isolate\n"
+               "the mechanism deterministically.\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Ablations of the scheduler's design choices (DESIGN.md §5):
+//
+//   A. measured metrics vs static requests — the paper's core pitch: the
+//      SGX-aware scheduler packs by live usage while the Kubernetes
+//      default trusts declarations. Users over-declare standard memory by
+//      1..2× in the trace, so request-only scheduling strands capacity.
+//      The sweep raises the standard-memory pressure (scaling base) until
+//      the difference shows.
+//
+//   B. FCFS semantics — strict head-of-line blocking vs Kubernetes-style
+//      skip-unschedulable.
+//
+//   C. sliding-window width — Listing 1 uses 25 s; wider windows keep
+//      samples of dead pods longer ("phantom" usage delaying reuse),
+//      narrower windows risk missing a probe period.
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "exp/replay.hpp"
+
+using namespace sgxo;
+using namespace sgxo::literals;
+
+namespace {
+
+struct Summary {
+  Duration makespan{};
+  double mean_wait = 0.0;
+  double p95_wait = 0.0;
+  std::size_t started = 0;
+};
+
+Summary summarize(const exp::ReplayResult& result) {
+  Summary s;
+  s.makespan = result.makespan;
+  const auto waits = result.waiting_seconds();
+  s.started = waits.size();
+  if (!waits.empty()) {
+    OnlineStats stats;
+    for (const double w : waits) stats.add(w);
+    s.mean_wait = stats.mean();
+    s.p95_wait = EmpiricalCdf{waits}.quantile(0.95);
+  }
+  return s;
+}
+
+void add_row(Table& table, const std::string& label, const Summary& s) {
+  table.add_row({label, to_string(s.makespan), fmt_double(s.mean_wait, 1),
+                 fmt_double(s.p95_wait, 1), std::to_string(s.started)});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# Ablation A — measured metrics vs request-only "
+               "scheduling\n"
+               "(standard jobs, 64 GiB scaling base, declarations swept "
+               "from honest 1x to 4x inflated)\n\n";
+  {
+    Table table({"over-declaration", "scheduler", "makespan",
+                 "mean wait [s]", "p95 wait [s]", "jobs started"});
+    for (const double inflation : {1.0, 2.0, 4.0}) {
+      for (const bool use_default : {false, true}) {
+        exp::ReplayOptions options;
+        options.sgx_fraction = 0.0;
+        options.scaling.standard_base = 64_GiB;  // stress standard memory
+        options.trace_config.over_declare_min = inflation;
+        options.trace_config.over_declare_max = inflation;
+        options.use_default_scheduler = use_default;
+        const Summary s = summarize(exp::run_replay(options));
+        table.add_row({fmt_double(inflation, 0) + "x",
+                       use_default ? "default (requests only)"
+                                   : "SGX-aware (measured)",
+                       to_string(s.makespan), fmt_double(s.mean_wait, 1),
+                       fmt_double(s.p95_wait, 1),
+                       std::to_string(s.started)});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\nexpected: with honest 1x declarations the request-only "
+                 "baseline is ideal and\nthe measured scheduler pays a "
+                 "small stale-sample tax; once users inflate\ntheir "
+                 "declarations (2x, 4x) the baseline strands capacity and "
+                 "falls far\nbehind — the paper's core motivation (§I: "
+                 "static declarations lead to\nover- or "
+                 "under-allocations).\n\n";
+  }
+
+  std::cout << "# Ablation B — strict FCFS vs skip-unschedulable "
+               "(100% SGX jobs)\n\n";
+  {
+    Table table({"queue semantics", "makespan", "mean wait [s]",
+                 "p95 wait [s]", "jobs started"});
+    for (const bool strict : {false, true}) {
+      exp::ReplayOptions options;
+      options.sgx_fraction = 1.0;
+      options.strict_fcfs = strict;
+      add_row(table, strict ? "strict FCFS" : "FCFS with skip",
+              summarize(exp::run_replay(options)));
+    }
+    table.print(std::cout);
+    std::cout << "\nexpected: head-of-line blocking behind large jobs makes "
+                 "strict FCFS strictly worse.\n\n";
+  }
+
+  std::cout << "# Ablation C — metrics sliding-window width "
+               "(100% SGX jobs; Listing 1 uses 25 s)\n\n";
+  {
+    Table table({"window", "makespan", "mean wait [s]", "p95 wait [s]",
+                 "jobs started"});
+    for (const int seconds : {10, 25, 60, 120}) {
+      exp::ReplayOptions options;
+      options.sgx_fraction = 1.0;
+      options.cluster.metrics_window = Duration::seconds(seconds);
+      add_row(table, std::to_string(seconds) + "s",
+              summarize(exp::run_replay(options)));
+    }
+    table.print(std::cout);
+    std::cout << "\nexpected: wider windows carry dead pods' samples longer "
+                 "(phantom usage), delaying EPC reuse.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Workload-sensitivity ablations:
+//
+//   A. arrival burstiness — the paper replays the trace's own (flat)
+//      arrival pattern; this sweep re-runs the same jobs under Poisson
+//      and bursty arrivals at identical load to show how much of the
+//      waiting-time tail is queueing vs. capacity.
+//
+//   B. priority preemption — a small fraction of jobs is latency-critical
+//      (priority 10); compare their waiting times with preemption off
+//      (the paper's non-preemptive scheduler) and on (§V-E's anticipated
+//      use of the per-process EPC ioctl).
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/sgx_scheduler.hpp"
+#include "exp/fixture.hpp"
+#include "exp/replay.hpp"
+#include "trace/replayer.hpp"
+#include "trace/sgx_mix.hpp"
+#include "workload/stressor.hpp"
+
+using namespace sgxo;
+
+namespace {
+
+void arrival_sweep() {
+  std::cout << "# Ablation — arrival pattern (100% SGX jobs, binpack)\n\n";
+  Table table({"arrivals", "makespan", "mean wait [s]", "p95 wait [s]",
+               "max wait [s]"});
+  for (const trace::ArrivalPattern pattern :
+       {trace::ArrivalPattern::kUniform, trace::ArrivalPattern::kPoisson,
+        trace::ArrivalPattern::kBursty}) {
+    exp::ReplayOptions options;
+    options.sgx_fraction = 1.0;
+    options.trace_config.arrivals = pattern;
+    const exp::ReplayResult result = exp::run_replay(options);
+    OnlineStats stats;
+    for (const double w : result.waiting_seconds()) stats.add(w);
+    const EmpiricalCdf cdf{result.waiting_seconds()};
+    table.add_row({trace::to_string(pattern), to_string(result.makespan),
+                   fmt_double(stats.mean(), 1),
+                   fmt_double(cdf.quantile(0.95), 1),
+                   fmt_double(cdf.max(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: bursty arrivals raise average queueing at "
+               "identical total load\n(each burst oversubscribes the EPC "
+               "at once); memoryless vs flat arrivals\nbarely differ.\n\n";
+}
+
+void preemption_sweep() {
+  std::cout << "# Ablation — priority preemption (100% SGX jobs, 10% "
+               "latency-critical)\n\n";
+  Table table({"preemption", "critical mean wait [s]",
+               "critical p95 wait [s]", "batch mean wait [s]",
+               "preemptions"});
+
+  for (const bool preemption : {false, true}) {
+    exp::SimulatedCluster cluster;
+    core::SgxSchedulerConfig config;
+    config.policy = core::PlacementPolicy::kBinpack;
+    config.enable_preemption = preemption;
+    auto& scheduler = cluster.add_sgx_scheduler(std::move(config));
+    cluster.api().set_default_scheduler(scheduler.name());
+    cluster.start_monitoring();
+
+    trace::BorgTraceGenerator generator;
+    std::vector<trace::TraceJob> jobs = generator.evaluation_slice();
+    Rng rng{42};
+    trace::designate_sgx(jobs, 1.0, rng);
+
+    // Every 10th job is latency-critical.
+    trace::Replayer replayer{
+        cluster.sim(), cluster.api(),
+        [](const trace::TraceJob& job, std::size_t index) {
+          auto pod = workload::stressor_pod(job, {});
+          if (index % 10 == 0) pod.priority = 10;
+          return pod;
+        }};
+    replayer.schedule(jobs);
+    cluster.sim().run_until(TimePoint::epoch() + Duration::hours(8));
+    cluster.stop_all();
+
+    OnlineStats critical;
+    OnlineStats batch;
+    for (const orch::PodRecord* record : cluster.api().all_pods()) {
+      const auto waiting = record->waiting_time();
+      if (!waiting.has_value()) continue;
+      (record->spec.priority > 0 ? critical : batch)
+          .add(waiting->as_seconds());
+    }
+    const std::vector<double> critical_waits = [&] {
+      std::vector<double> out;
+      for (const orch::PodRecord* record : cluster.api().all_pods()) {
+        if (record->spec.priority > 0 && record->waiting_time()) {
+          out.push_back(record->waiting_time()->as_seconds());
+        }
+      }
+      return out;
+    }();
+    const double p95 = critical_waits.empty()
+                           ? 0.0
+                           : EmpiricalCdf{critical_waits}.quantile(0.95);
+    table.add_row({preemption ? "enabled" : "disabled (paper)",
+                   fmt_double(critical.mean(), 1), fmt_double(p95, 1),
+                   fmt_double(batch.mean(), 1),
+                   std::to_string(scheduler.preemptions())});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: preemption collapses critical-job waits at a "
+               "modest cost in batch waits (evicted work reruns).\n";
+}
+
+}  // namespace
+
+int main() {
+  arrival_sweep();
+  preemption_sweep();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 3 — Google Borg trace: distribution of maximal memory usage.
+//
+// Paper series: CDF [%] of per-job maximal memory usage, expressed as a
+// fraction of the largest machine's capacity (x-range 0..0.5, most jobs
+// below 10 %).
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "trace/generator.hpp"
+
+using namespace sgxo;
+
+int main() {
+  std::cout << "# Figure 3 — Borg trace: CDF of maximal memory usage\n";
+  const trace::BorgTraceGenerator generator;
+  const std::vector<double> samples =
+      generator.sample_memory_fractions(100'000);
+  const EmpiricalCdf cdf{samples};
+
+  Table table({"max_mem_usage [frac of largest machine]", "CDF [%]"});
+  for (double x = 0.0; x <= 0.5001; x += 0.025) {
+    table.add_row({fmt_double(x, 3), fmt_double(100.0 * cdf.at(x), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper-shape checks:\n"
+            << "  support ends at 0.5          : max sample = "
+            << fmt_double(cdf.max(), 3) << "\n"
+            << "  majority of jobs are small   : CDF(0.10) = "
+            << fmt_double(100.0 * cdf.at(0.10), 1) << "% (paper: ~70%)\n"
+            << "  median                       : "
+            << fmt_double(cdf.quantile(0.5), 3) << " (paper: ~0.05)\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 7 — Time series of the total memory amount requested by pods in
+// pending state, for different simulated EPC sizes (32/64/128/256 MiB).
+//
+// Paper findings (§VI-D): with 256 MiB there is no contention and the
+// batch finishes in exactly the trace hour; 128 MiB (current hardware)
+// finishes after 1 h 22 m; 64 MiB after 2 h 47 m; 32 MiB after 4 h 47 m.
+//
+// The run is simulation-based but uses the exact same scheduler code, as
+// in the paper. EPC sizes name the *reserved* PRM; the usable share keeps
+// current hardware's 93.5/128 ratio. The workload is the evaluation slice
+// with 100 % SGX jobs.
+#include <iostream>
+#include <map>
+
+#include "common/table.hpp"
+#include "exp/replay.hpp"
+
+using namespace sgxo;
+
+int main() {
+  std::cout << "# Figure 7 — pending EPC requests over time per EPC size\n";
+  const std::vector<int> sizes_mib{32, 64, 128, 256};
+  std::map<int, exp::ReplayResult> results;
+
+  for (const int size : sizes_mib) {
+    exp::ReplayOptions options;
+    options.sgx_fraction = 1.0;  // EPC is the contended resource here
+    options.policy = core::PlacementPolicy::kBinpack;
+    // Usable share of the simulated PRM size, as on current hardware.
+    options.epc_usable_override = mib(size * 93.5 / 128.0);
+    options.pending_sample_period = Duration::minutes(5);
+    results.emplace(size, exp::run_replay(options));
+  }
+
+  // The time series, one column per EPC size (paper x-range 0..300 min).
+  Table series({"time [min]", "32 MiB [MiB queued]", "64 MiB [MiB queued]",
+                "128 MiB [MiB queued]", "256 MiB [MiB queued]"});
+  const std::size_t longest =
+      results.at(32).pending_series.size();
+  for (std::size_t i = 0; i < longest; i += 2) {  // 10-minute rows
+    std::vector<std::string> row;
+    row.push_back(fmt_double(
+        results.at(32).pending_series[i].at.as_seconds() / 60.0, 0));
+    for (const int size : sizes_mib) {
+      const auto& s = results.at(size).pending_series;
+      row.push_back(i < s.size()
+                        ? fmt_double(s[i].epc_requested.as_mib(), 1)
+                        : "0.0");
+    }
+    series.add_row(std::move(row));
+  }
+  series.print(std::cout);
+
+  std::cout << "\nbatch completion times (paper: 4h47m / 2h47m / 1h22m / "
+               "1h00m):\n";
+  Table summary({"EPC size [MiB]", "usable/node [MiB]", "makespan",
+                 "peak queue [MiB]", "capped jobs"});
+  for (const int size : sizes_mib) {
+    const exp::ReplayResult& result = results.at(size);
+    double peak = 0.0;
+    for (const exp::PendingSample& sample : result.pending_series) {
+      peak = std::max(peak, sample.epc_requested.as_mib());
+    }
+    summary.add_row({std::to_string(size),
+                     fmt_double(size * 93.5 / 128.0, 1),
+                     to_string(result.makespan), fmt_double(peak, 1),
+                     std::to_string(result.capped_jobs)});
+  }
+  summary.print(std::cout);
+  std::cout << "\nshape: makespan decreases monotonically with EPC size;\n"
+               "       256 MiB shows no contention (queue ~0, makespan ~1h).\n";
+  return 0;
+}

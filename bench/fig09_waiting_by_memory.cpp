@@ -1,0 +1,80 @@
+// Figure 9 — Average waiting times (95 % CI) for SGX and standard jobs,
+// using binpack and spread strategies, bucketed by the pod's memory
+// request. Both series come from one run with a 50 % SGX / standard split.
+//
+// Paper findings (§VI-E): spread is consistently worse than binpack;
+// binpack handles bigger memory requests better; SGX jobs wait similarly
+// to standard jobs save for one outlier.
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "exp/replay.hpp"
+
+using namespace sgxo;
+
+namespace {
+
+struct BucketRow {
+  double lo_mb;
+  double hi_mb;
+  OnlineStats stats;
+};
+
+void report(const exp::ReplayResult& result, bool sgx, double bucket_mb,
+            int buckets, Table& table, const char* policy) {
+  std::vector<BucketRow> rows;
+  rows.reserve(static_cast<std::size_t>(buckets));
+  for (int i = 0; i < buckets; ++i) {
+    rows.push_back(BucketRow{bucket_mb * i, bucket_mb * (i + 1), {}});
+  }
+  for (const exp::JobOutcome& job : result.jobs) {
+    if (job.sgx != sgx || !job.waiting.has_value()) continue;
+    const double request_mb =
+        static_cast<double>(job.requested.count()) / 1e6;  // MB as the paper
+    auto idx = static_cast<std::size_t>(request_mb / bucket_mb);
+    idx = std::min(idx, rows.size() - 1);
+    rows[idx].stats.add(job.waiting->as_seconds());
+  }
+  for (const BucketRow& row : rows) {
+    if (row.stats.count() == 0) continue;
+    table.add_row({policy, sgx ? "SGX" : "standard",
+                   fmt_double(row.lo_mb, 0) + "-" + fmt_double(row.hi_mb, 0),
+                   std::to_string(row.stats.count()),
+                   fmt_double(row.stats.mean(), 1) + " ± " +
+                       fmt_double(row.stats.ci95_half_width(), 1)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# Figure 9 — mean waiting time by memory request "
+               "(50% SGX split)\n";
+
+  Table table({"policy", "job kind", "request bucket [MB]", "jobs",
+               "mean waiting [s] (95% CI)"});
+  double mean_wait[2] = {0.0, 0.0};
+  int idx = 0;
+  for (const core::PlacementPolicy policy :
+       {core::PlacementPolicy::kSpread, core::PlacementPolicy::kBinpack}) {
+    exp::ReplayOptions options;
+    options.sgx_fraction = 0.5;
+    options.policy = policy;
+    const exp::ReplayResult result = exp::run_replay(options);
+    // SGX requests go up to ~98 MB (x-axis 0..25 MB in the paper covers
+    // the bulk); standard up to ~32 000 MB.
+    report(result, true, 20.0, 5, table, core::to_string(policy));
+    report(result, false, 7000.0, 5, table, core::to_string(policy));
+    OnlineStats all;
+    for (const double w : result.waiting_seconds()) all.add(w);
+    mean_wait[idx++] = all.mean();
+  }
+  table.print(std::cout);
+
+  std::cout << "\noverall mean waiting: spread=" << fmt_double(mean_wait[0], 1)
+            << " s, binpack=" << fmt_double(mean_wait[1], 1) << " s\n"
+            << "shape: spread >= binpack; waits grow with request size; "
+               "SGX and standard jobs comparable.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 11 — Observed waiting times when malicious containers are
+// deployed in the system, with and without usage limits being enforced.
+//
+// Setup (§VI-F): one malicious container per SGX node; each declares a
+// 1-page EPC request/limit but actually allocates up to 50 % of its
+// node's EPC. Series:
+//   * limits enabled,  squatters using 50 %   (squatters killed at launch)
+//   * limits disabled, trace jobs only        (honest baseline)
+//   * limits disabled, squatters using 25 %
+//   * limits disabled, squatters using 50 %
+//
+// Paper findings: without enforcement honest waiting times grow with the
+// squatted share; with enforcement the attack is annihilated — and the
+// run even beats the trace-only baseline because the 44 over-allocating
+// trace jobs are killed right after launch instead of occupying EPC.
+#include <iostream>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "exp/replay.hpp"
+
+using namespace sgxo;
+
+namespace {
+
+exp::ReplayResult run(bool enforce, double squat_fraction) {
+  exp::ReplayOptions options;
+  options.sgx_fraction = 1.0;  // EPC contention is what the attack targets
+  options.policy = core::PlacementPolicy::kBinpack;
+  options.enforce_limits = enforce;
+  if (squat_fraction > 0.0) {
+    options.malicious_per_sgx_node = 1;
+    options.malicious_epc_fraction = squat_fraction;
+  }
+  return exp::run_replay(options);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# Figure 11 — waiting times under malicious containers\n";
+
+  struct SeriesDef {
+    const char* label;
+    bool enforce;
+    double squat;
+  };
+  const std::vector<SeriesDef> defs{
+      {"limits enabled, 50% EPC occupied", true, 0.5},
+      {"limits disabled, trace jobs only", false, 0.0},
+      {"limits disabled, 25% EPC occupied", false, 0.25},
+      {"limits disabled, 50% EPC occupied", false, 0.5},
+  };
+
+  std::vector<EmpiricalCdf> cdfs;
+  std::vector<exp::ReplayResult> results;
+  for (const SeriesDef& def : defs) {
+    results.push_back(run(def.enforce, def.squat));
+    cdfs.emplace_back(results.back().waiting_seconds());
+  }
+
+  Table table({"waiting [s]", defs[0].label, defs[1].label, defs[2].label,
+               defs[3].label});
+  for (const double x : {0, 5, 10, 25, 50, 100, 200, 400, 800, 1200, 1600,
+                         2000}) {
+    std::vector<std::string> row{fmt_double(x, 0)};
+    for (const EmpiricalCdf& cdf : cdfs) {
+      row.push_back(fmt_double(100.0 * cdf.at(x), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nsummary:\n";
+  Table summary({"series", "mean wait [s]", "p95 wait [s]",
+                 "failed (killed) jobs"});
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    OnlineStats stats;
+    for (const double w : results[i].waiting_seconds()) stats.add(w);
+    summary.add_row({defs[i].label, fmt_double(stats.mean(), 1),
+                     fmt_double(cdfs[i].quantile(0.95), 1),
+                     std::to_string(results[i].failed_jobs)});
+  }
+  summary.print(std::cout);
+
+  std::cout << "\nshape: enforcement annihilates the squatters (its curve "
+               "dominates);\n"
+               "       without enforcement, waits grow with the squatted "
+               "share;\n"
+               "       the enforced run beats even the trace-only baseline "
+               "because over-allocating trace jobs are killed at launch.\n";
+  return 0;
+}

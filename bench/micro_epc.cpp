@@ -1,0 +1,73 @@
+// Microbenchmarks of the node-local SGX substrate: EPC page accounting,
+// driver ioctls and the enclave lifecycle. These sit on the hot path of
+// every pod start/stop and every probe scrape.
+#include <benchmark/benchmark.h>
+
+#include "sgx/driver.hpp"
+#include "sgx/epc.hpp"
+
+namespace {
+
+using namespace sgxo;
+
+void BM_EpcCommitRelease(benchmark::State& state) {
+  sgx::EpcAccounting epc{sgx::EpcConfig::sgx1()};
+  sgx::EnclaveId next = 1;
+  for (auto _ : state) {
+    const sgx::EnclaveId id = next++;
+    epc.commit(id, Pages{256});
+    epc.release(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpcCommitRelease);
+
+void BM_EpcRebalanceUnderLoad(benchmark::State& state) {
+  const auto resident = static_cast<int>(state.range(0));
+  sgx::EpcAccounting epc{sgx::EpcConfig::sgx1()};
+  for (int i = 1; i <= resident; ++i) {
+    epc.commit(static_cast<sgx::EnclaveId>(i), Pages{64});
+  }
+  sgx::EnclaveId next = 1'000'000;
+  for (auto _ : state) {
+    const sgx::EnclaveId id = next++;
+    epc.commit(id, Pages{64});
+    epc.release(id);
+  }
+}
+BENCHMARK(BM_EpcRebalanceUnderLoad)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_DriverEnclaveLifecycle(benchmark::State& state) {
+  sgx::DriverConfig config;
+  config.enforce_limits = true;
+  sgx::Driver driver{config};
+  driver.set_pod_limit("/pod", Pages{23'936});
+  for (auto _ : state) {
+    const sgx::EnclaveId id = driver.create_enclave(1, "/pod", Pages{256});
+    driver.init_enclave(id);
+    driver.destroy_enclave(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DriverEnclaveLifecycle);
+
+void BM_DriverProcessPagesIoctl(benchmark::State& state) {
+  const auto enclaves = static_cast<int>(state.range(0));
+  sgx::DriverConfig config;
+  config.enforce_limits = false;
+  sgx::Driver driver{config};
+  for (int i = 0; i < enclaves; ++i) {
+    (void)driver.create_enclave(static_cast<sgx::Pid>(i % 16),
+                                "/pod-" + std::to_string(i % 16), Pages{16});
+  }
+  sgx::Pid pid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(driver.process_pages(pid));
+    pid = (pid + 1) % 16;
+  }
+}
+BENCHMARK(BM_DriverProcessPagesIoctl)->Arg(16)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Microbenchmarks of scheduler decision latency: one full scheduling
+// cycle (view collection through the live metrics pipeline + FCFS
+// placement) for both placement policies, as the pending queue grows.
+#include <benchmark/benchmark.h>
+
+#include "exp/fixture.hpp"
+
+namespace {
+
+using namespace sgxo;
+using namespace sgxo::literals;
+
+cluster::PodSpec pending_pod(int i, bool sgx) {
+  cluster::PodBehavior behavior;
+  behavior.sgx = sgx;
+  behavior.actual_usage = sgx ? Bytes{4_MiB} : Bytes{2_GiB};
+  behavior.duration = Duration::hours(2);
+  cluster::ResourceAmounts request;
+  if (sgx) {
+    request.epc_pages = Pages{1024};
+  } else {
+    request.memory = 2_GiB;
+  }
+  return cluster::make_stressor_pod(
+      (sgx ? "sgx-" : "std-") + std::to_string(i), request, request,
+      behavior);
+}
+
+void run_cycle_bench(benchmark::State& state, core::PlacementPolicy policy) {
+  const auto pending = static_cast<int>(state.range(0));
+  exp::SimulatedCluster cluster;
+  auto& scheduler = cluster.add_sgx_scheduler(policy);
+  scheduler.stop();  // drive cycles manually
+  cluster.api().set_default_scheduler(scheduler.name());
+  cluster.start_monitoring();
+  // A saturated queue: capacity-sized requests keep most pods pending, so
+  // each timed cycle filters the full queue.
+  for (int i = 0; i < pending; ++i) {
+    cluster.api().submit(pending_pod(i, i % 2 == 0));
+  }
+  cluster.sim().run_until(TimePoint::epoch() + Duration::seconds(30));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.run_once());
+  }
+  state.SetItemsProcessed(state.iterations() * pending);
+}
+
+void BM_BinpackCycle(benchmark::State& state) {
+  run_cycle_bench(state, core::PlacementPolicy::kBinpack);
+}
+BENCHMARK(BM_BinpackCycle)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_SpreadCycle(benchmark::State& state) {
+  run_cycle_bench(state, core::PlacementPolicy::kSpread);
+}
+BENCHMARK(BM_SpreadCycle)->Arg(16)->Arg(128)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

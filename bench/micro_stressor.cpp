@@ -1,0 +1,72 @@
+// Microbenchmarks of the STRESS-SGX workload engine — including the
+// headline effect: EPC stressor bogo-op rates collapsing under paging
+// (the application-level face of the 1000× degradation, §V-A).
+#include <benchmark/benchmark.h>
+
+#include "workload/stress_sgx.hpp"
+
+namespace {
+
+using namespace sgxo;
+using namespace sgxo::workload;
+
+void BM_ParseStressArgs(benchmark::State& state) {
+  const std::vector<std::string> args{"--vm",       "2",  "--vm-bytes",
+                                      "1g",         "--epc", "1",
+                                      "--epc-bytes", "48m", "--timeout",
+                                      "60s"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_stress_args(args));
+  }
+}
+BENCHMARK(BM_ParseStressArgs);
+
+void BM_EpcStressorRun(benchmark::State& state) {
+  const auto pressure_pct = static_cast<double>(state.range(0));
+  sgx::PerfModel perf;
+  sgx::DriverConfig config;
+  config.enforce_limits = false;
+  const StressPlan plan = parse_stress_args(
+      {"--epc", "1", "--epc-bytes", "16m", "--timeout", "10s"});
+
+  double ops_per_second = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sgx::Driver driver{config};
+    // Pre-load the EPC to the requested pressure with a squatter.
+    const auto squat_pages = static_cast<std::uint64_t>(
+        pressure_pct / 100.0 *
+        static_cast<double>(driver.total_epc_pages().count()));
+    std::optional<sgx::EnclaveId> squatter;
+    if (squat_pages > 0) {
+      squatter = driver.create_enclave(99, "/squat", Pages{squat_pages});
+      driver.init_enclave(*squatter);
+    }
+    StressRunner runner{driver, perf};
+    state.ResumeTiming();
+    const auto reports = runner.run(plan, 1, "/pod");
+    ops_per_second = reports.front().ops_per_second();
+    benchmark::DoNotOptimize(reports);
+  }
+  state.counters["bogo_ops_per_virtual_s"] = ops_per_second;
+}
+// 0 %: no pressure; 100 %: EPC exactly full before the stressor arrives
+// (the stressor pushes it over → paging); 150 %: deep over-commitment.
+BENCHMARK(BM_EpcStressorRun)->Arg(0)->Arg(100)->Arg(150);
+
+void BM_VmStressorRun(benchmark::State& state) {
+  sgx::PerfModel perf;
+  sgx::DriverConfig config;
+  sgx::Driver driver{config};
+  StressRunner runner{driver, perf};
+  const StressPlan plan = parse_stress_args(
+      {"--vm", "1", "--vm-bytes", "1g", "--timeout", "10s"});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(plan, 1, "/pod"));
+  }
+}
+BENCHMARK(BM_VmStressorRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

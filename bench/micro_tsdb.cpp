@@ -1,0 +1,82 @@
+// Microbenchmarks of the time-series database: ingest throughput and the
+// latency of the paper's Listing-1 sliding-window query as the number of
+// pods (series) grows. The scheduler issues this query every cycle, so
+// its cost bounds the feasible scheduling frequency.
+#include <benchmark/benchmark.h>
+
+#include "tsdb/model.hpp"
+#include "tsdb/ql/executor.hpp"
+#include "tsdb/ql/parser.hpp"
+
+namespace {
+
+using namespace sgxo;
+
+constexpr const char* kListing1 =
+    "SELECT SUM(epc) AS epc FROM "
+    "(SELECT MAX(value) AS epc FROM \"sgx/epc\" "
+    "WHERE value <> 0 AND time >= now() - 25s "
+    "GROUP BY pod_name, nodename) "
+    "GROUP BY nodename";
+
+tsdb::Database make_db(int pods, int samples_per_pod) {
+  tsdb::Database db;
+  for (int p = 0; p < pods; ++p) {
+    const tsdb::Tags tags{
+        {"pod_name", "pod-" + std::to_string(p)},
+        {"nodename", p % 2 == 0 ? "sgx-1" : "sgx-2"},
+    };
+    for (int s = 0; s < samples_per_pod; ++s) {
+      db.write("sgx/epc", tags,
+               TimePoint::epoch() + Duration::seconds(s * 10),
+               4096.0 * (p + 1));
+    }
+  }
+  return db;
+}
+
+void BM_TsdbIngest(benchmark::State& state) {
+  const tsdb::Tags tags{{"pod_name", "p"}, {"nodename", "n"}};
+  tsdb::Database db;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    db.write("sgx/epc", tags, TimePoint::from_micros(t++), 1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TsdbIngest);
+
+void BM_Listing1Parse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsdb::ql::parse(kListing1));
+  }
+}
+BENCHMARK(BM_Listing1Parse);
+
+void BM_Listing1Query(benchmark::State& state) {
+  const auto pods = static_cast<int>(state.range(0));
+  const tsdb::Database db = make_db(pods, 30);
+  const tsdb::ql::SelectStmt stmt = tsdb::ql::parse(kListing1);
+  const TimePoint now = TimePoint::epoch() + Duration::seconds(300);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tsdb::ql::execute(stmt, db, now));
+  }
+  state.SetItemsProcessed(state.iterations() * pods);
+}
+BENCHMARK(BM_Listing1Query)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_RetentionSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    tsdb::Database db = make_db(64, 120);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(db.enforce_retention(
+        TimePoint::epoch() + Duration::seconds(1200),
+        Duration::minutes(5)));
+  }
+}
+BENCHMARK(BM_RetentionSweep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

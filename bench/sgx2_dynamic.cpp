@@ -1,0 +1,66 @@
+// SGX 2 outlook experiment (paper §VI-G, beyond the published figures).
+//
+// The paper argues that SGX 2's dynamic EPC allocation "can really improve
+// resource utilization on shared infrastructures" and that the scheduler
+// works out of the box while only the driver's limit enforcement needs a
+// modest port. This harness quantifies the claim on the Borg slice with
+// 100 % SGX jobs:
+//
+//   * SGX 1            — every enclave commits its peak at build time;
+//                         requests = advertised peak.
+//   * SGX 2 (dynamic)  — enclaves build with 40 % of their peak, grow to
+//                         the peak for the middle third of their runtime
+//                         and trim back; users request their typical
+//                         footprint and limit their peak, with the ported
+//                         growth-time enforcement bounding them.
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "exp/replay.hpp"
+
+using namespace sgxo;
+
+namespace {
+
+exp::ReplayResult run(sgx::SgxVersion version, double initial_fraction) {
+  exp::ReplayOptions options;
+  options.sgx_fraction = 1.0;
+  options.policy = core::PlacementPolicy::kBinpack;
+  options.sgx_version = version;
+  options.initial_usage_fraction = initial_fraction;
+  return exp::run_replay(options);
+}
+
+void add_row(Table& table, const char* label,
+             const exp::ReplayResult& result) {
+  OnlineStats wait;
+  for (const double w : result.waiting_seconds()) wait.add(w);
+  const EmpiricalCdf cdf{result.waiting_seconds()};
+  double peak_queue = 0.0;
+  for (const exp::PendingSample& s : result.pending_series) {
+    peak_queue = std::max(peak_queue, s.epc_requested.as_mib());
+  }
+  table.add_row({label, to_string(result.makespan),
+                 fmt_double(wait.mean(), 1), fmt_double(cdf.quantile(0.95), 1),
+                 fmt_double(peak_queue, 1),
+                 std::to_string(result.failed_jobs)});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# SGX 2 dynamic EPC what-if (100% SGX jobs, binpack)\n\n";
+  Table table({"cluster", "makespan", "mean wait [s]", "p95 wait [s]",
+               "peak queue [MiB]", "killed jobs"});
+  add_row(table, "SGX 1 (all pages at build)", run(sgx::SgxVersion::kSgx1, 1.0));
+  add_row(table, "SGX 2 (40% at build, dynamic)",
+          run(sgx::SgxVersion::kSgx2, 0.4));
+  table.print(std::cout);
+
+  std::cout << "\nexpected shape: the SGX 2 run packs by typical footprint\n"
+               "and starts enclaves faster, cutting queueing drastically;\n"
+               "over-allocating jobs are still killed — at growth time —\n"
+               "by the ported enforcement hook.\n";
+  return 0;
+}

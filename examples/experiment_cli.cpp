@@ -1,0 +1,199 @@
+// Command-line experiment workbench: run any trace-replay configuration
+// without writing code, and optionally dump per-job results as CSV.
+//
+//   $ ./examples/experiment_cli --sgx-fraction 0.75 --policy spread
+//   $ ./examples/experiment_cli --epc-mib 64 --no-enforce --csv out.csv
+//   $ ./examples/experiment_cli --sgx2 --initial-fraction 0.4
+//   $ ./examples/experiment_cli --malicious 1 --squat 0.5
+//   $ ./examples/experiment_cli --help
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "exp/replay.hpp"
+
+using namespace sgxo;
+
+namespace {
+
+void print_help() {
+  std::cout <<
+      R"(experiment_cli — replay the Borg evaluation slice on the simulated cluster
+
+options:
+  --sgx-fraction F     fraction of jobs designated SGX-enabled   [0.5]
+  --policy P           binpack | spread                          [binpack]
+  --default-scheduler  use the request-only Kubernetes default scheduler
+  --epc-mib N          simulated usable EPC per SGX node, in MiB [93.5]
+  --no-enforce         stock driver: no EPC limit enforcement
+  --malicious N        N malicious squatters per SGX node        [0]
+  --squat F            fraction of EPC each squatter really uses [0.5]
+  --sgx2               SGX 2 cluster (dynamic enclave memory)
+  --initial-fraction F SGX 2 build-time fraction of the peak     [0.4]
+  --arrivals A         uniform | poisson | bursty                [uniform]
+  --strict-fcfs        head-of-line-blocking queue semantics
+  --migration          enable the enclave-migration defragmenter
+  --seed N             RNG seed                                  [42]
+  --jobs N             jobs in the slice                         [663]
+  --csv PATH           write per-job outcomes as CSV
+  --help               this text
+)";
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "error: " << message << "\n(use --help)\n";
+  std::exit(2);
+}
+
+double parse_double(const char* flag, const char* value) {
+  if (value == nullptr) fail(std::string(flag) + " needs a value");
+  try {
+    return std::stod(value);
+  } catch (...) {
+    fail(std::string(flag) + ": not a number: " + value);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::ReplayOptions options;
+  std::string csv_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* next = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--help") {
+      print_help();
+      return 0;
+    } else if (arg == "--sgx-fraction") {
+      options.sgx_fraction = parse_double("--sgx-fraction", next);
+      ++i;
+    } else if (arg == "--policy") {
+      if (next == nullptr) fail("--policy needs a value");
+      const std::string policy = next;
+      ++i;
+      if (policy == "binpack") {
+        options.policy = core::PlacementPolicy::kBinpack;
+      } else if (policy == "spread") {
+        options.policy = core::PlacementPolicy::kSpread;
+      } else {
+        fail("unknown policy: " + policy);
+      }
+    } else if (arg == "--default-scheduler") {
+      options.use_default_scheduler = true;
+    } else if (arg == "--epc-mib") {
+      options.epc_usable_override =
+          mib(parse_double("--epc-mib", next));
+      ++i;
+    } else if (arg == "--no-enforce") {
+      options.enforce_limits = false;
+    } else if (arg == "--malicious") {
+      options.malicious_per_sgx_node =
+          static_cast<std::size_t>(parse_double("--malicious", next));
+      ++i;
+    } else if (arg == "--squat") {
+      options.malicious_epc_fraction = parse_double("--squat", next);
+      ++i;
+    } else if (arg == "--sgx2") {
+      options.sgx_version = sgx::SgxVersion::kSgx2;
+      if (options.initial_usage_fraction >= 1.0) {
+        options.initial_usage_fraction = 0.4;
+      }
+    } else if (arg == "--initial-fraction") {
+      options.initial_usage_fraction =
+          parse_double("--initial-fraction", next);
+      ++i;
+    } else if (arg == "--arrivals") {
+      if (next == nullptr) fail("--arrivals needs a value");
+      const std::string pattern = next;
+      ++i;
+      if (pattern == "uniform") {
+        options.trace_config.arrivals = trace::ArrivalPattern::kUniform;
+      } else if (pattern == "poisson") {
+        options.trace_config.arrivals = trace::ArrivalPattern::kPoisson;
+      } else if (pattern == "bursty") {
+        options.trace_config.arrivals = trace::ArrivalPattern::kBursty;
+      } else {
+        fail("unknown arrival pattern: " + pattern);
+      }
+    } else if (arg == "--strict-fcfs") {
+      options.strict_fcfs = true;
+    } else if (arg == "--migration") {
+      options.enable_migration = true;
+    } else if (arg == "--seed") {
+      options.seed = static_cast<std::uint64_t>(
+          parse_double("--seed", next));
+      options.trace_config.seed = options.seed;
+      ++i;
+    } else if (arg == "--jobs") {
+      options.trace_config.slice_jobs =
+          static_cast<std::size_t>(parse_double("--jobs", next));
+      options.trace_config.over_allocating_jobs = std::min<std::size_t>(
+          44, options.trace_config.slice_jobs / 15);
+      ++i;
+    } else if (arg == "--csv") {
+      if (next == nullptr) fail("--csv needs a path");
+      csv_path = next;
+      ++i;
+    } else {
+      fail("unknown flag: " + arg);
+    }
+  }
+
+  std::cout << "running replay: policy=" << core::to_string(options.policy)
+            << " sgx_fraction=" << options.sgx_fraction
+            << " enforce=" << (options.enforce_limits ? "on" : "off")
+            << " version=" << sgx::to_string(options.sgx_version)
+            << " arrivals=" << trace::to_string(options.trace_config.arrivals)
+            << " ...\n";
+  const exp::ReplayResult result = exp::run_replay(options);
+
+  Table summary({"metric", "value"});
+  summary.add_row({"completed", result.completed ? "yes" : "no"});
+  summary.add_row({"jobs", std::to_string(result.jobs.size())});
+  summary.add_row({"failed (killed)", std::to_string(result.failed_jobs)});
+  summary.add_row({"capped to EPC", std::to_string(result.capped_jobs)});
+  summary.add_row({"makespan", to_string(result.makespan)});
+  summary.add_row({"trace useful time",
+                   to_string(result.total_trace_duration)});
+  const auto waits = result.waiting_seconds();
+  if (!waits.empty()) {
+    OnlineStats stats;
+    for (const double w : waits) stats.add(w);
+    const EmpiricalCdf cdf{waits};
+    summary.add_row({"mean wait", fmt_double(stats.mean(), 1) + " s"});
+    summary.add_row({"p50 wait", fmt_double(cdf.quantile(0.5), 1) + " s"});
+    summary.add_row({"p95 wait", fmt_double(cdf.quantile(0.95), 1) + " s"});
+    summary.add_row({"max wait", fmt_double(cdf.max(), 1) + " s"});
+  }
+  summary.add_row({"turnaround (SGX)",
+                   to_string(result.total_turnaround(true))});
+  summary.add_row({"turnaround (standard)",
+                   to_string(result.total_turnaround(false))});
+  summary.print(std::cout);
+
+  if (!csv_path.empty()) {
+    std::ofstream csv{csv_path};
+    if (!csv) fail("cannot open " + csv_path);
+    Table rows({"pod", "sgx", "requested_bytes", "actual_bytes",
+                "trace_duration_s", "waiting_s", "turnaround_s", "failed",
+                "reason"});
+    for (const exp::JobOutcome& job : result.jobs) {
+      rows.add_row(
+          {job.pod, job.sgx ? "1" : "0",
+           std::to_string(job.requested.count()),
+           std::to_string(job.actual.count()),
+           fmt_double(job.trace_duration.as_seconds(), 3),
+           job.waiting ? fmt_double(job.waiting->as_seconds(), 3) : "",
+           job.turnaround ? fmt_double(job.turnaround->as_seconds(), 3) : "",
+           job.failed ? "1" : "0", job.failure_reason});
+    }
+    rows.print_csv(csv);
+    std::cout << "\nwrote per-job outcomes to " << csv_path << '\n';
+  }
+  return result.completed ? 0 : 1;
+}

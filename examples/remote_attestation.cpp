@@ -1,0 +1,80 @@
+// Walkthrough of the SGX trust machinery from paper §II: launch tokens,
+// remote attestation, sealing — and how mutual attestation establishes
+// the migration key that secures enclave live migration (§VII/related
+// work, Gu et al.).
+//
+//   $ ./examples/remote_attestation
+#include <iostream>
+
+#include "sgx/attestation.hpp"
+#include "sgx/perf_model.hpp"
+#include "sgx/sdk.hpp"
+
+using namespace sgxo;
+using namespace sgxo::sgx;
+
+int main() {
+  const PerfModel perf;
+
+  // Two SGX machines of the cluster, plus an impostor box without a
+  // genuine fused key.
+  const Platform sgx1 = Platform::for_node("sgx-1");
+  const Platform sgx2 = Platform::for_node("sgx-2");
+  const Platform impostor = Platform::for_node("rogue");
+
+  // Each container runs its own AESM (one PSW per container, §VI-D),
+  // which exposes the architectural enclaves.
+  AesmService aesm1{perf, sgx1};
+  AesmService aesm2{perf, sgx2};
+  std::cout << "AESM startup on sgx-1: " << aesm1.start() << "\n";
+  (void)aesm2.start();
+
+  // Provisioning Enclave flow: both genuine platforms enrol with the
+  // attestation service; the impostor never does.
+  AttestationService ias;
+  aesm1.provision_with(ias);
+  aesm2.provision_with(ias);
+
+  // 1. Launch: the application ships a signed (not encrypted) enclave;
+  //    the Launch Enclave gates EINIT with a launch token.
+  const Measurement app = measure_enclave("stress-sgx v1.0");
+  const auto token = aesm1.launch_enclave().issue(app);
+  std::cout << "launch token for MRENCLAVE " << to_hex(app.value)
+            << " valid: " << std::boolalpha
+            << aesm1.launch_enclave().validate(token) << "\n";
+
+  // 2. Remote attestation: a client verifies that this exact enclave runs
+  //    on a genuine platform before trusting it with secrets.
+  const Quote quote = aesm1.quoting_enclave().quote(app, /*report_data=*/7);
+  std::cout << "quote from sgx-1 verifies: " << ias.verify(quote) << "\n";
+  QuotingEnclave rogue_qe{impostor};
+  std::cout << "quote from impostor verifies: "
+            << ias.verify(rogue_qe.quote(app, 7)) << "\n";
+
+  // 3. Sealing: state persisted to disk survives restarts without a new
+  //    attestation — but only on the same platform, for the same code.
+  const SealedBlob blob = seal(sgx1, app, "cached launch state");
+  const auto unsealed = unseal(sgx1, app, blob);
+  std::cout << "sealed/unsealed on sgx-1: "
+            << std::string(unsealed.begin(), unsealed.end()) << "\n";
+  try {
+    (void)unseal(sgx2, app, blob);
+  } catch (const AttestationError& e) {
+    std::cout << "unseal on sgx-2 refused: " << e.what() << "\n";
+  }
+
+  // 4. Migration key: mutual attestation between source and target
+  //    platforms yields the shared key that protects an enclave
+  //    checkpoint in flight.
+  const Quote a = aesm1.quoting_enclave().quote(app, 1111);
+  const Quote b = aesm2.quoting_enclave().quote(app, 2222);
+  const HashKey migration_key = ias.establish_shared_key(a, b);
+  std::cout << "migration key established: " << to_hex(migration_key.k0)
+            << to_hex(migration_key.k1) << "\n";
+  try {
+    (void)ias.establish_shared_key(a, rogue_qe.quote(app, 3333));
+  } catch (const AttestationError& e) {
+    std::cout << "key exchange with impostor refused: " << e.what() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Replays the scaled-down Google Borg evaluation slice (§VI-B: 1-hour
+// slice, every-1200th-job sampling, 663 jobs) against the paper's cluster
+// with a 50 % SGX job mix, and reports the headline scheduling metrics.
+//
+//   $ ./examples/trace_replay [binpack|spread] [sgx_fraction]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "exp/replay.hpp"
+
+using namespace sgxo;
+
+int main(int argc, char** argv) {
+  exp::ReplayOptions options;
+  options.sgx_fraction = 0.5;
+  if (argc > 1 && std::string(argv[1]) == "spread") {
+    options.policy = core::PlacementPolicy::kSpread;
+  }
+  if (argc > 2) {
+    options.sgx_fraction = std::atof(argv[2]);
+  }
+
+  std::cout << "replaying Borg slice: policy="
+            << core::to_string(options.policy)
+            << ", sgx_fraction=" << options.sgx_fraction << " ...\n";
+  const exp::ReplayResult result = exp::run_replay(options);
+
+  std::cout << "completed: " << (result.completed ? "yes" : "no")
+            << ", jobs=" << result.jobs.size()
+            << ", failed=" << result.failed_jobs
+            << ", makespan=" << result.makespan
+            << ", trace useful time=" << result.total_trace_duration << "\n\n";
+
+  Table table({"job kind", "jobs", "mean wait [s]", "p50 [s]", "p95 [s]",
+               "max [s]"});
+  for (const bool sgx : {false, true}) {
+    const std::vector<double> waits = result.waiting_seconds(sgx);
+    if (waits.empty()) continue;
+    EmpiricalCdf cdf{waits};
+    OnlineStats stats;
+    for (const double w : waits) stats.add(w);
+    table.add_row({sgx ? "SGX" : "standard", std::to_string(waits.size()),
+                   fmt_double(stats.mean()), fmt_double(cdf.quantile(0.5)),
+                   fmt_double(cdf.quantile(0.95)), fmt_double(cdf.max())});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nturnaround: standard="
+            << result.total_turnaround(false)
+            << ", SGX=" << result.total_turnaround(true) << '\n';
+  return result.completed ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+#include "cluster/device_plugin.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sgxo::cluster {
+
+std::vector<std::string> DevicePlugin::list_devices() const {
+  std::vector<std::string> devices;
+  if (driver_ == nullptr) return devices;
+  const std::uint64_t pages = driver_->total_epc_pages().count();
+  devices.reserve(pages);
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    devices.push_back("epc-page-" + std::to_string(i));
+  }
+  return devices;
+}
+
+Pages DevicePlugin::advertised_pages() const {
+  return driver_ == nullptr ? Pages{0} : driver_->total_epc_pages();
+}
+
+bool DeviceAllocator::allocate(const std::string& pod, Pages pages) {
+  SGXO_CHECK_MSG(!pod.empty(), "pod name must not be empty");
+  if (pages > available()) return false;
+  per_pod_.emplace_back(pod, pages);
+  allocated_ += pages;
+  return true;
+}
+
+void DeviceAllocator::release(const std::string& pod) {
+  const auto it = std::find_if(
+      per_pod_.begin(), per_pod_.end(),
+      [&](const auto& entry) { return entry.first == pod; });
+  if (it == per_pod_.end()) return;
+  allocated_ -= it->second;
+  per_pod_.erase(it);
+}
+
+Pages DeviceAllocator::allocated_to(const std::string& pod) const {
+  Pages total{0};
+  for (const auto& [name, pages] : per_pod_) {
+    if (name == pod) total += pages;
+  }
+  return total;
+}
+
+}  // namespace sgxo::cluster

@@ -1,0 +1,67 @@
+// Kubernetes device plugin for SGX (paper §V-A).
+//
+// Device plugins expose /dev devices to Kubelet over gRPC. A naive plugin
+// would register one item for the single /dev/isgx pseudo-file, limiting a
+// node to one SGX pod at a time. The paper's key trick: advertise *each EPC
+// page* as an independent device item, so many pods can share a node's EPC
+// and the scheduler can count pages like any other extended resource.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sgx/driver.hpp"
+
+namespace sgxo::cluster {
+
+class DevicePlugin {
+ public:
+  /// The extended-resource name pods put in requests/limits.
+  static constexpr const char* kResourceName = "intel.com/sgx-epc-page";
+  /// Host device mounted into every pod requesting at least one share.
+  static constexpr const char* kDevicePath = "/dev/isgx";
+
+  /// `driver` is null on machines without the isgx kernel module; the
+  /// plugin then reports no devices (the node is not SGX-capable).
+  explicit DevicePlugin(const sgx::Driver* driver) : driver_(driver) {}
+
+  /// Whether the isgx module is loaded on this node.
+  [[nodiscard]] bool sgx_available() const { return driver_ != nullptr; }
+
+  /// The ListAndWatch answer: one healthy device id per usable EPC page.
+  [[nodiscard]] std::vector<std::string> list_devices() const;
+
+  /// Total devices (pages) advertised; what Kubelet reports to the master
+  /// as the node's allocatable "intel.com/sgx-epc-page" quantity.
+  [[nodiscard]] Pages advertised_pages() const;
+
+ private:
+  const sgx::Driver* driver_;
+};
+
+/// Kubelet-side allocation bookkeeping for the plugin's devices: which
+/// pages are handed to which pod. Kubernetes guarantees requests never
+/// exceed the advertised amount; we enforce the same invariant.
+class DeviceAllocator {
+ public:
+  explicit DeviceAllocator(Pages advertised) : advertised_(advertised) {}
+
+  [[nodiscard]] Pages advertised() const { return advertised_; }
+  [[nodiscard]] Pages allocated() const { return allocated_; }
+  [[nodiscard]] Pages available() const { return advertised_ - allocated_; }
+
+  /// Reserves `pages` for `pod`. Returns false (no change) if unavailable.
+  [[nodiscard]] bool allocate(const std::string& pod, Pages pages);
+  /// Releases a pod's reservation (no-op for unknown pods).
+  void release(const std::string& pod);
+  [[nodiscard]] Pages allocated_to(const std::string& pod) const;
+
+ private:
+  Pages advertised_;
+  Pages allocated_{0};
+  std::vector<std::pair<std::string, Pages>> per_pod_;
+};
+
+}  // namespace sgxo::cluster

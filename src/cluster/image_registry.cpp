@@ -1,0 +1,35 @@
+#include "cluster/image_registry.hpp"
+
+#include "common/error.hpp"
+
+namespace sgxo::cluster {
+
+ImageRegistry::ImageRegistry(double bandwidth_bytes_per_sec)
+    : bandwidth_(bandwidth_bytes_per_sec) {
+  SGXO_CHECK(bandwidth_ > 0.0);
+}
+
+void ImageRegistry::publish(const std::string& image, Bytes size) {
+  SGXO_CHECK_MSG(!image.empty(), "image name must not be empty");
+  images_[image] = size;
+}
+
+bool ImageRegistry::has(const std::string& image) const {
+  return images_.find(image) != images_.end();
+}
+
+Bytes ImageRegistry::size_of(const std::string& image) const {
+  const auto it = images_.find(image);
+  if (it == images_.end()) {
+    throw DomainError{"unknown image: " + image};
+  }
+  return it->second;
+}
+
+Duration ImageRegistry::pull_latency(const std::string& image) const {
+  const Bytes size = size_of(image);
+  return Duration::from_seconds(static_cast<double>(size.count()) /
+                                bandwidth_);
+}
+
+}  // namespace sgxo::cluster

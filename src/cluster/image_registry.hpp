@@ -1,0 +1,52 @@
+// Container image registry + per-node cache.
+//
+// Jobs are submitted as container images pulled from a registry (§IV
+// step 1). The only schedule-visible effect is the first-pull latency on a
+// node; subsequent starts hit the local cache.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace sgxo::cluster {
+
+class ImageRegistry {
+ public:
+  /// `bandwidth_bytes_per_sec`: the cluster's network to the registry
+  /// (1 Gbit/s in the paper's testbed).
+  explicit ImageRegistry(double bandwidth_bytes_per_sec = 125e6);
+
+  /// Publishes an image with its compressed size. Re-publishing updates
+  /// the size (a new tag push).
+  void publish(const std::string& image, Bytes size);
+
+  [[nodiscard]] bool has(const std::string& image) const;
+  [[nodiscard]] Bytes size_of(const std::string& image) const;
+
+  /// Time to pull `image` over the modelled network. Throws DomainError for
+  /// unknown images.
+  [[nodiscard]] Duration pull_latency(const std::string& image) const;
+
+ private:
+  double bandwidth_;
+  std::map<std::string, Bytes> images_;
+};
+
+/// Node-local image store.
+class ImageCache {
+ public:
+  [[nodiscard]] bool cached(const std::string& image) const {
+    return cached_.find(image) != cached_.end();
+  }
+  void store(const std::string& image) { cached_.insert(image); }
+  [[nodiscard]] std::size_t size() const { return cached_.size(); }
+
+ private:
+  std::set<std::string> cached_;
+};
+
+}  // namespace sgxo::cluster

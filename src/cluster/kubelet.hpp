@@ -1,0 +1,136 @@
+// The node agent. When the master binds a pod here, the Kubelet:
+//   1. reserves the pod's EPC device items (device-plugin allocation),
+//   2. transmits the pod's EPC limit to the isgx driver (the paper's
+//      16-line Go + 22-line C cgo glue, §V-D) *before* containers start,
+//   3. pulls the image if not cached,
+//   4. starts the containers (mounting /dev/isgx into SGX pods),
+//   5. lets the workload allocate — enclave creation + EINIT for SGX pods,
+//      plain memory for standard pods; the driver may deny EINIT,
+//   6. reports pod phase transitions back to the control plane,
+//   7. tears everything down when the stressor's duration elapses.
+//
+// Startup latencies follow the measured model (Fig. 6): ~100 ms PSW/AESM
+// per container plus size-dependent enclave allocation; <1 ms for standard
+// pods.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "cluster/pod.hpp"
+#include "sgx/migration.hpp"
+#include "sgx/perf_model.hpp"
+#include "sgx/sdk.hpp"
+#include "sim/simulation.hpp"
+
+namespace sgxo::cluster {
+
+/// Control-plane callbacks; implemented by the API server.
+class PodLifecycleListener {
+ public:
+  virtual ~PodLifecycleListener() = default;
+  virtual void on_pod_running(const PodName& pod) = 0;
+  virtual void on_pod_succeeded(const PodName& pod) = 0;
+  virtual void on_pod_failed(const PodName& pod, const std::string& reason) = 0;
+};
+
+class Kubelet {
+ public:
+  Kubelet(sim::Simulation& sim, Node& node, const sgx::PerfModel& perf,
+          const ImageRegistry& registry, PodLifecycleListener& listener);
+
+  Kubelet(const Kubelet&) = delete;
+  Kubelet& operator=(const Kubelet&) = delete;
+
+  [[nodiscard]] const NodeName& node_name() const { return node_->name(); }
+  [[nodiscard]] Node& node() { return *node_; }
+
+  /// Accepts a pod bound to this node by a scheduler. Admission can fail
+  /// synchronously (device exhaustion) — reported through the listener.
+  void admit_pod(const PodSpec& spec);
+
+  /// Per-pod standard memory usage, the stats Heapster scrapes.
+  struct PodStats {
+    PodName pod;
+    Bytes memory_usage{};
+  };
+  [[nodiscard]] std::vector<PodStats> pod_stats() const;
+
+  /// Pids of a running pod's containers — the SGX probe feeds these to the
+  /// driver's per-process ioctl.
+  [[nodiscard]] std::vector<sgx::Pid> pod_pids(const PodName& pod) const;
+  [[nodiscard]] std::vector<PodName> active_pods() const;
+  [[nodiscard]] std::size_t active_pod_count() const { return active_.size(); }
+
+  // ---- enclave migration (paper §VIII future work) -------------------------
+  /// Everything that moves with a pod during live migration.
+  struct MigrationBundle {
+    PodSpec spec;
+    /// Runtime left when the quiescent point was reached.
+    Duration remaining{};
+    sgx::EnclaveCheckpoint checkpoint;
+    /// Quiescence + capture latency already spent on the source.
+    Duration checkpoint_latency{};
+  };
+
+  /// True if the pod is running here with a live enclave (only SGX pods
+  /// migrate; standard pods are out of scope, as in the paper).
+  [[nodiscard]] bool pod_migratable(const PodName& pod) const;
+
+  /// Quiesces, checkpoints and tears the pod down locally. The pod's
+  /// completion event becomes a no-op; the caller owns the bundle.
+  [[nodiscard]] MigrationBundle extract_for_migration(
+      const PodName& pod, sgx::MigrationService& service);
+
+  /// Resumes a migrated pod on this node after `inbound_delay` (the
+  /// checkpoint + wire-transfer time): reserves devices, reinstalls the
+  /// pod's EPC limit, restarts containers + PSW, restores the enclave and
+  /// schedules the remaining runtime. Failures surface via the listener.
+  void admit_migrated(MigrationBundle bundle, sgx::MigrationService& service,
+                      Duration inbound_delay);
+
+  /// Evicts one pod immediately (preemption): full local teardown, no
+  /// listener callback — the control plane initiating the eviction owns
+  /// the pod's phase transition. No-op for pods not active here.
+  void evict_pod(const PodName& pod);
+
+  /// Node failure: every active pod is torn down and reported failed with
+  /// reason "NodeFailure". Used by failure-injection experiments.
+  void handle_node_failure();
+
+ private:
+  struct ActivePod {
+    PodSpec spec;
+    std::vector<ContainerId> containers;
+    std::optional<sgx::EnclaveHandle> enclave;
+    bool limits_installed = false;
+    /// When the stressor's runtime elapses (set once running).
+    std::optional<TimePoint> completion_due;
+  };
+
+  void start_containers(const PodName& name);
+  void launch_workload(const PodName& name);
+  /// True when this pod should use SGX 2 dynamic enclave memory: it has a
+  /// dynamic profile *and* this node's driver is SGX 2 (§VI-G). SGX 1
+  /// nodes fall back to committing the peak at build time.
+  [[nodiscard]] bool use_dynamic_memory(const PodSpec& spec) const;
+  /// Arms the grow (duration/3) and trim (2·duration/3) events.
+  void schedule_dynamic_profile(const PodName& name);
+  void complete_pod(const PodName& name);
+  void teardown(ActivePod& pod);
+  /// The pod's EPC limit as installed in the driver: the declared limit,
+  /// falling back to the request when no explicit limit was given.
+  [[nodiscard]] static Pages effective_epc_limit(const PodSpec& spec);
+
+  sim::Simulation* sim_;
+  Node* node_;
+  const sgx::PerfModel* perf_;
+  const ImageRegistry* registry_;
+  PodLifecycleListener* listener_;
+  std::map<PodName, ActivePod> active_;
+};
+
+}  // namespace sgxo::cluster

@@ -1,0 +1,33 @@
+#include "cluster/node.hpp"
+
+namespace sgxo::cluster {
+
+namespace {
+
+std::unique_ptr<sgx::Driver> make_driver(const MachineSpec& spec,
+                                         bool enforce) {
+  if (!spec.epc.has_value()) return nullptr;
+  sgx::DriverConfig config;
+  config.epc = *spec.epc;
+  config.enforce_limits = enforce;
+  config.version = spec.sgx_version;
+  return std::make_unique<sgx::Driver>(config);
+}
+
+}  // namespace
+
+Node::Node(MachineSpec spec, bool enforce_epc_limits)
+    : spec_(std::move(spec)),
+      driver_(make_driver(spec_, enforce_epc_limits)),
+      plugin_(driver_.get()),
+      allocator_(plugin_.advertised_pages()) {}
+
+Bytes Node::memory_used() const {
+  Bytes total{};
+  for (const PodName& pod : runtime_.running_pods()) {
+    total += runtime_.pod_memory_usage(pod);
+  }
+  return total;
+}
+
+}  // namespace sgxo::cluster

@@ -1,0 +1,64 @@
+// One physical machine of the cluster: its static spec plus the node-local
+// software stack (isgx driver when SGX-capable, container runtime, device
+// plugin, image cache) and resource accounting.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "cluster/container_runtime.hpp"
+#include "cluster/device_plugin.hpp"
+#include "cluster/image_registry.hpp"
+#include "cluster/resources.hpp"
+#include "sgx/driver.hpp"
+
+namespace sgxo::cluster {
+
+class Node {
+ public:
+  /// `enforce_epc_limits` selects between the modified driver (paper) and
+  /// the stock one (Fig. 11 baseline). Ignored for non-SGX machines.
+  explicit Node(MachineSpec spec, bool enforce_epc_limits = true);
+
+  [[nodiscard]] const MachineSpec& spec() const { return spec_; }
+  [[nodiscard]] const NodeName& name() const { return spec_.name; }
+  [[nodiscard]] bool has_sgx() const { return driver_ != nullptr; }
+  /// Ready tracks the node's health (heartbeat); failed nodes stop
+  /// receiving pods until recovered.
+  [[nodiscard]] bool ready() const { return ready_; }
+  void set_ready(bool ready) { ready_ = ready; }
+  [[nodiscard]] bool schedulable() const { return !spec_.is_master && ready_; }
+
+  /// The isgx driver; null on machines without SGX.
+  [[nodiscard]] sgx::Driver* driver() { return driver_.get(); }
+  [[nodiscard]] const sgx::Driver* driver() const { return driver_.get(); }
+
+  [[nodiscard]] DevicePlugin& device_plugin() { return plugin_; }
+  [[nodiscard]] const DevicePlugin& device_plugin() const { return plugin_; }
+  [[nodiscard]] DeviceAllocator& device_allocator() { return allocator_; }
+  [[nodiscard]] const DeviceAllocator& device_allocator() const {
+    return allocator_;
+  }
+  [[nodiscard]] ContainerRuntime& runtime() { return runtime_; }
+  [[nodiscard]] const ContainerRuntime& runtime() const { return runtime_; }
+  [[nodiscard]] ImageCache& image_cache() { return cache_; }
+
+  [[nodiscard]] Bytes memory_capacity() const { return spec_.memory; }
+  /// Standard memory in use by all containers on this node.
+  [[nodiscard]] Bytes memory_used() const;
+  /// EPC pages advertised to Kubernetes by the device plugin (0 if no SGX).
+  [[nodiscard]] Pages epc_capacity() const {
+    return plugin_.advertised_pages();
+  }
+
+ private:
+  MachineSpec spec_;
+  bool ready_ = true;
+  std::unique_ptr<sgx::Driver> driver_;
+  DevicePlugin plugin_;
+  DeviceAllocator allocator_;
+  ContainerRuntime runtime_;
+  ImageCache cache_;
+};
+
+}  // namespace sgxo::cluster

@@ -1,0 +1,52 @@
+#include "cluster/pod.hpp"
+
+namespace sgxo::cluster {
+
+ResourceAmounts PodSpec::total_requests() const {
+  ResourceAmounts total;
+  for (const ContainerSpec& c : containers) {
+    total = total + c.requests;
+  }
+  return total;
+}
+
+ResourceAmounts PodSpec::total_limits() const {
+  ResourceAmounts total;
+  for (const ContainerSpec& c : containers) {
+    total = total + c.limits;
+  }
+  return total;
+}
+
+bool PodSpec::wants_sgx() const {
+  return total_requests().wants_sgx() || total_limits().wants_sgx();
+}
+
+PodSpec make_stressor_pod(PodName name, ResourceAmounts request,
+                          ResourceAmounts limit, PodBehavior behavior,
+                          std::string scheduler_name) {
+  PodSpec pod;
+  pod.name = std::move(name);
+  pod.scheduler_name = std::move(scheduler_name);
+  pod.behavior = behavior;
+  ContainerSpec container;
+  container.name = "stressor";
+  container.image = "sebvaucher/sgx-base:stress-sgx";
+  container.requests = request;
+  container.limits = limit;
+  pod.containers.push_back(std::move(container));
+  return pod;
+}
+
+const char* to_string(PodPhase phase) {
+  switch (phase) {
+    case PodPhase::kPending: return "Pending";
+    case PodPhase::kBound: return "Bound";
+    case PodPhase::kRunning: return "Running";
+    case PodPhase::kSucceeded: return "Succeeded";
+    case PodPhase::kFailed: return "Failed";
+  }
+  return "?";
+}
+
+}  // namespace sgxo::cluster

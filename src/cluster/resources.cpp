@@ -1,0 +1,37 @@
+#include "cluster/resources.hpp"
+
+#include <vector>
+
+namespace sgxo::cluster {
+
+std::vector<MachineSpec> paper_cluster() {
+  using namespace sgxo::literals;
+  std::vector<MachineSpec> machines;
+  MachineSpec master;
+  master.name = "master";
+  master.cpu_model = "Intel Xeon E3-1270 v6";
+  master.cpu_cores = 4;
+  master.memory = 64_GiB;
+  master.is_master = true;
+  machines.push_back(master);
+  for (int i = 1; i <= 2; ++i) {
+    MachineSpec node;
+    node.name = "node-" + std::to_string(i);
+    node.cpu_model = "Intel Xeon E3-1270 v6";
+    node.cpu_cores = 4;
+    node.memory = 64_GiB;
+    machines.push_back(node);
+  }
+  for (int i = 1; i <= 2; ++i) {
+    MachineSpec node;
+    node.name = "sgx-" + std::to_string(i);
+    node.cpu_model = "Intel i7-6700";
+    node.cpu_cores = 4;
+    node.memory = 8_GiB;
+    node.epc = sgx::EpcConfig::sgx1();
+    machines.push_back(node);
+  }
+  return machines;
+}
+
+}  // namespace sgxo::cluster

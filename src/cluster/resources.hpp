@@ -1,0 +1,53 @@
+// Machine and resource vocabulary for the heterogeneous cluster.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sgx/driver.hpp"
+#include "sgx/epc.hpp"
+
+namespace sgxo::cluster {
+
+using NodeName = std::string;
+
+/// Requests or limits for the two resources the paper schedules on:
+/// standard memory and EPC pages.
+struct ResourceAmounts {
+  Bytes memory{};
+  Pages epc_pages{};
+
+  [[nodiscard]] constexpr bool wants_sgx() const {
+    return epc_pages.count() > 0;
+  }
+
+  friend ResourceAmounts operator+(ResourceAmounts a, ResourceAmounts b) {
+    return ResourceAmounts{a.memory + b.memory, a.epc_pages + b.epc_pages};
+  }
+};
+
+/// Static description of one physical machine (paper §VI-A inventory).
+struct MachineSpec {
+  NodeName name;
+  std::string cpu_model;
+  int cpu_cores = 0;
+  Bytes memory{};
+  /// Present iff the machine has SGX enabled in UEFI.
+  std::optional<sgx::EpcConfig> epc;
+  /// Hardware generation of the SGX machines (§VI-G outlook: SGX 2 adds
+  /// dynamic enclave memory). Ignored without `epc`.
+  sgx::SgxVersion sgx_version = sgx::SgxVersion::kSgx1;
+  /// Master runs the control plane and receives no workload pods.
+  bool is_master = false;
+
+  [[nodiscard]] bool has_sgx() const { return epc.has_value(); }
+};
+
+/// The paper's 5-machine evaluation cluster (§VI-A): one master and two
+/// workers on Dell R330 (Xeon E3-1270 v6, 64 GiB), plus two SGX machines
+/// (i7-6700, 8 GiB, 128 MiB PRM reserved).
+[[nodiscard]] std::vector<MachineSpec> paper_cluster();
+
+}  // namespace sgxo::cluster

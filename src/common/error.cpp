@@ -1,0 +1,20 @@
+#include "common/error.hpp"
+
+namespace sgxo::detail {
+
+void throw_contract_violation(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::string what = "contract violation: `";
+  what += expr;
+  what += "` at ";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  if (!msg.empty()) {
+    what += " — ";
+    what += msg;
+  }
+  throw ContractViolation{what};
+}
+
+}  // namespace sgxo::detail

@@ -1,0 +1,43 @@
+// Error-handling vocabulary: exceptions for contract and domain failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sgxo {
+
+/// A violated precondition or invariant: a bug in the caller or in this
+/// library, never a recoverable runtime condition.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// A domain-level failure (e.g. enclave init denied, unknown pod).
+class DomainError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_contract_violation(const char* expr, const char* file,
+                                           int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace sgxo
+
+/// Precondition / invariant check, enabled in all build types: these guard
+/// orchestration-state corruption, which is cheaper to stop early than debug.
+#define SGXO_CHECK(expr)                                                      \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::sgxo::detail::throw_contract_violation(#expr, __FILE__, __LINE__, ""); \
+    }                                                                         \
+  } while (false)
+
+#define SGXO_CHECK_MSG(expr, msg)                                              \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::sgxo::detail::throw_contract_violation(#expr, __FILE__, __LINE__, msg); \
+    }                                                                          \
+  } while (false)

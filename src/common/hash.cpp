@@ -1,0 +1,107 @@
+#include "common/hash.hpp"
+
+#include <cstring>
+
+namespace sgxo {
+
+namespace {
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  void round() {
+    v0 += v1;
+    v1 = rotl64(v1, 13);
+    v1 ^= v0;
+    v0 = rotl64(v0, 32);
+    v2 += v3;
+    v3 = rotl64(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl64(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl64(v1, 17);
+    v1 ^= v2;
+    v2 = rotl64(v2, 32);
+  }
+};
+
+std::uint64_t read_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t siphash24(HashKey key, std::span<const std::uint8_t> data) {
+  SipState s{
+      key.k0 ^ 0x736f6d6570736575ULL,
+      key.k1 ^ 0x646f72616e646f6dULL,
+      key.k0 ^ 0x6c7967656e657261ULL,
+      key.k1 ^ 0x7465646279746573ULL,
+  };
+
+  const std::size_t n = data.size();
+  const std::size_t full_blocks = n / 8;
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    const std::uint64_t m = read_le64(data.data() + i * 8);
+    s.v3 ^= m;
+    s.round();
+    s.round();
+    s.v0 ^= m;
+  }
+
+  // Final block: remaining bytes plus the length in the top byte.
+  std::uint8_t tail[8] = {0};
+  const std::size_t rest = n % 8;
+  if (rest > 0) {
+    std::memcpy(tail, data.data() + full_blocks * 8, rest);
+  }
+  std::uint64_t b = read_le64(tail);
+  b |= static_cast<std::uint64_t>(n & 0xff) << 56;
+  s.v3 ^= b;
+  s.round();
+  s.round();
+  s.v0 ^= b;
+
+  s.v2 ^= 0xff;
+  s.round();
+  s.round();
+  s.round();
+  s.round();
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+std::uint64_t siphash24(HashKey key, std::string_view data) {
+  return siphash24(key,
+                   std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(data.data()),
+                       data.size()));
+}
+
+HashKey derive_key(HashKey parent, std::string_view label) {
+  HashKey derived;
+  derived.k0 = siphash24(parent, std::string("kdf0|") + std::string(label));
+  derived.k1 = siphash24(parent, std::string("kdf1|") + std::string(label));
+  return derived;
+}
+
+std::string to_hex(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace sgxo

@@ -1,0 +1,49 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace sgxo {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+Log::Sink g_sink;  // empty = stderr
+
+void default_sink(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", to_string(level), message.c_str());
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void Log::set_level(LogLevel level) { g_level = level; }
+LogLevel Log::level() { return g_level; }
+void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+void Log::reset_sink() { g_sink = nullptr; }
+
+bool Log::enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(g_level);
+}
+
+void Log::write(LogLevel level, const std::string& message) {
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    default_sink(level, message);
+  }
+}
+
+}  // namespace sgxo

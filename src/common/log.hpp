@@ -1,0 +1,44 @@
+// Minimal leveled logger. Components log against the virtual clock, so the
+// sink is injected rather than reading wall time.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace sgxo {
+
+enum class LogLevel { kDebug, kInfo, kWarn, kError };
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+/// Process-wide log configuration. Defaults: level = kWarn (experiments stay
+/// quiet), sink = stderr.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static void set_level(LogLevel level);
+  [[nodiscard]] static LogLevel level();
+  static void set_sink(Sink sink);
+  static void reset_sink();
+
+  static void write(LogLevel level, const std::string& message);
+  [[nodiscard]] static bool enabled(LogLevel level);
+};
+
+}  // namespace sgxo
+
+#define SGXO_LOG(level, expr)                          \
+  do {                                                 \
+    if (::sgxo::Log::enabled(level)) {                 \
+      std::ostringstream sgxo_log_oss;                 \
+      sgxo_log_oss << expr;                            \
+      ::sgxo::Log::write(level, sgxo_log_oss.str());   \
+    }                                                  \
+  } while (false)
+
+#define SGXO_DEBUG(expr) SGXO_LOG(::sgxo::LogLevel::kDebug, expr)
+#define SGXO_INFO(expr) SGXO_LOG(::sgxo::LogLevel::kInfo, expr)
+#define SGXO_WARN(expr) SGXO_LOG(::sgxo::LogLevel::kWarn, expr)
+#define SGXO_ERROR(expr) SGXO_LOG(::sgxo::LogLevel::kError, expr)

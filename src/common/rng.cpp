@@ -1,0 +1,125 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace sgxo {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    word = splitmix64(s);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits → double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  SGXO_CHECK(lo < hi);
+  return lo + (hi - lo) * next_double();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  SGXO_CHECK(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  std::uint64_t v = next_u64();
+  while (v >= limit) {
+    v = next_u64();
+  }
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::exponential(double mean) {
+  SGXO_CHECK(mean > 0.0);
+  double u = next_double();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+Rng Rng::split() { return Rng{next_u64()}; }
+
+InverseCdfSampler::InverseCdfSampler(std::vector<Knot> knots)
+    : knots_(std::move(knots)) {
+  SGXO_CHECK_MSG(knots_.size() >= 2, "need at least two CDF knots");
+  SGXO_CHECK_MSG(knots_.front().quantile == 0.0, "CDF must start at q=0");
+  SGXO_CHECK_MSG(knots_.back().quantile == 1.0, "CDF must end at q=1");
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    SGXO_CHECK_MSG(knots_[i - 1].quantile < knots_[i].quantile,
+                   "CDF quantiles must be strictly increasing");
+    SGXO_CHECK_MSG(knots_[i - 1].value <= knots_[i].value,
+                   "CDF values must be non-decreasing");
+  }
+}
+
+double InverseCdfSampler::at_quantile(double q) const {
+  if (q <= 0.0) return knots_.front().value;
+  if (q >= 1.0) return knots_.back().value;
+  // Find the first knot with quantile >= q.
+  std::size_t hi = 1;
+  while (knots_[hi].quantile < q) {
+    ++hi;
+  }
+  const Knot& a = knots_[hi - 1];
+  const Knot& b = knots_[hi];
+  const double t = (q - a.quantile) / (b.quantile - a.quantile);
+  return a.value + t * (b.value - a.value);
+}
+
+double InverseCdfSampler::sample(Rng& rng) const {
+  return at_quantile(rng.next_double());
+}
+
+}  // namespace sgxo

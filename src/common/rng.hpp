@@ -1,0 +1,83 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of an experiment (trace synthesis, SGX job
+// designation, jitter) draws from an explicitly seeded Rng so that the same
+// seed reproduces the same figures bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace sgxo {
+
+/// xoshiro256** by Blackman & Vigna, seeded through splitmix64.
+/// Small, fast, and fully reproducible across platforms (unlike
+/// std::distributions, whose outputs are implementation-defined).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  [[nodiscard]] std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double next_double();
+
+  /// Uniform in [lo, hi). Requires lo < hi.
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Exponential with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  [[nodiscard]] double normal(double mean, double stddev);
+
+  /// Splits off an independent child generator; used to give each module a
+  /// private stream so adding draws in one module does not shift another's.
+  [[nodiscard]] Rng split();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Draws a value from an empirical inverse-CDF given as (quantile, value)
+/// knots with linear interpolation between knots. Knots must be sorted by
+/// quantile, start at 0 and end at 1. This is how the trace generator turns
+/// the paper's published CDFs (Figs. 3 and 4) back into samples.
+class InverseCdfSampler {
+ public:
+  struct Knot {
+    double quantile;  // in [0, 1]
+    double value;
+  };
+
+  explicit InverseCdfSampler(std::vector<Knot> knots);
+
+  [[nodiscard]] double sample(Rng& rng) const;
+  /// Deterministic evaluation (used by tests): value at a given quantile.
+  [[nodiscard]] double at_quantile(double q) const;
+
+ private:
+  std::vector<Knot> knots_;
+};
+
+}  // namespace sgxo

@@ -1,0 +1,91 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace sgxo {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SGXO_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SGXO_CHECK_MSG(cells.size() == headers_.size(),
+                 "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+const std::string& Table::cell(std::size_t row, std::size_t col) const {
+  SGXO_CHECK(row < rows_.size());
+  SGXO_CHECK(col < headers_.size());
+  return rows_[row][col];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") != std::string::npos) {
+      os << '"';
+      for (char ch : cell) {
+        if (ch == '"') os << '"';
+        os << ch;
+      }
+      os << '"';
+    } else {
+      os << cell;
+    }
+  };
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      emit_cell(cells[c]);
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace sgxo

@@ -1,0 +1,35 @@
+#include "common/time.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace sgxo {
+
+std::string to_string(Duration d) {
+  const std::int64_t us = d.micros_count();
+  char buf[64];
+  const std::int64_t abs_us = us < 0 ? -us : us;
+  if (abs_us >= 3'600'000'000LL) {
+    const std::int64_t total_s = us / 1'000'000;
+    std::snprintf(buf, sizeof buf, "%lldh%02lldm",
+                  static_cast<long long>(total_s / 3600),
+                  static_cast<long long>((total_s % 3600) / 60));
+  } else if (abs_us >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.2fs", static_cast<double>(us) / 1e6);
+  } else if (abs_us >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.2fms", static_cast<double>(us) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(us));
+  }
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << to_string(d);
+}
+
+std::ostream& operator<<(std::ostream& os, TimePoint t) {
+  return os << "t+" << to_string(t.since_epoch());
+}
+
+}  // namespace sgxo

@@ -1,0 +1,118 @@
+// Virtual time vocabulary used by the simulation and every component on
+// top of it. Microsecond resolution keeps both sub-millisecond SGX startup
+// costs (Fig. 6) and multi-hour trace replays (Fig. 7) exactly representable
+// in 64-bit integers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace sgxo {
+
+/// A span of virtual time (may be used relative to any TimePoint).
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration micros(std::int64_t v) {
+    return Duration{v};
+  }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t v) {
+    return Duration{v * 1000};
+  }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t v) {
+    return Duration{v * 1'000'000};
+  }
+  [[nodiscard]] static constexpr Duration minutes(std::int64_t v) {
+    return seconds(v * 60);
+  }
+  [[nodiscard]] static constexpr Duration hours(std::int64_t v) {
+    return seconds(v * 3600);
+  }
+  /// From fractional seconds (trace files use seconds with sub-second parts).
+  [[nodiscard]] static constexpr Duration from_seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e6)};
+  }
+  [[nodiscard]] static constexpr Duration from_millis(double ms) {
+    return Duration{static_cast<std::int64_t>(ms * 1e3)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t micros_count() const { return us_; }
+  [[nodiscard]] constexpr double as_seconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+  [[nodiscard]] constexpr double as_millis() const {
+    return static_cast<double>(us_) / 1e3;
+  }
+  [[nodiscard]] constexpr double as_hours() const {
+    return as_seconds() / 3600.0;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration& operator+=(Duration d) {
+    us_ += d.us_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration d) {
+    us_ -= d.us_;
+    return *this;
+  }
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.us_ + b.us_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.us_ - b.us_};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration{a.us_ * k};
+  }
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// An absolute instant of virtual time. Simulations start at epoch (zero).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint epoch() { return TimePoint{}; }
+  [[nodiscard]] static constexpr TimePoint from_micros(std::int64_t us) {
+    TimePoint t;
+    t.us_ = us;
+    return t;
+  }
+
+  [[nodiscard]] constexpr std::int64_t micros_since_epoch() const {
+    return us_;
+  }
+  [[nodiscard]] constexpr Duration since_epoch() const {
+    return Duration::micros(us_);
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return from_micros(t.us_ + d.micros_count());
+  }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) {
+    return from_micros(t.us_ - d.micros_count());
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::micros(a.us_ - b.us_);
+  }
+
+ private:
+  std::int64_t us_ = 0;
+};
+
+/// "1h22m" / "47.3s" / "120ms" rendering for reports.
+[[nodiscard]] std::string to_string(Duration d);
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, TimePoint t);
+
+}  // namespace sgxo

@@ -1,0 +1,48 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace sgxo {
+
+namespace {
+
+std::string human_bytes(std::uint64_t count) {
+  constexpr std::uint64_t kKiB = 1024;
+  constexpr std::uint64_t kMiB = kKiB * 1024;
+  constexpr std::uint64_t kGiB = kMiB * 1024;
+  char buf[64];
+  if (count >= kGiB) {
+    std::snprintf(buf, sizeof buf, "%.2fGiB",
+                  static_cast<double>(count) / static_cast<double>(kGiB));
+  } else if (count >= kMiB) {
+    std::snprintf(buf, sizeof buf, "%.2fMiB",
+                  static_cast<double>(count) / static_cast<double>(kMiB));
+  } else if (count >= kKiB) {
+    std::snprintf(buf, sizeof buf, "%.2fKiB",
+                  static_cast<double>(count) / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluB",
+                  static_cast<unsigned long long>(count));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Bytes b) { return human_bytes(b.count()); }
+
+std::string to_string(Pages p) {
+  return std::to_string(p.count()) + "pages(" + human_bytes(p.as_bytes().count()) +
+         ")";
+}
+
+std::ostream& operator<<(std::ostream& os, Bytes b) {
+  return os << to_string(b);
+}
+
+std::ostream& operator<<(std::ostream& os, Pages p) {
+  return os << to_string(p);
+}
+
+}  // namespace sgxo

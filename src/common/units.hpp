@@ -1,0 +1,111 @@
+// Strong unit types shared across the code base.
+//
+// The paper's quantities of interest are byte amounts (regular memory),
+// EPC pages (4 KiB each) and virtual time. Using distinct vocabulary types
+// keeps MiB-vs-page-vs-byte mixups from compiling.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace sgxo {
+
+/// A byte count. Regular (non-EPC) memory is always expressed in Bytes.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::uint64_t count) : count_(count) {}
+
+  [[nodiscard]] constexpr std::uint64_t count() const { return count_; }
+  [[nodiscard]] constexpr double as_mib() const {
+    return static_cast<double>(count_) / (1024.0 * 1024.0);
+  }
+  [[nodiscard]] constexpr double as_gib() const {
+    return static_cast<double>(count_) / (1024.0 * 1024.0 * 1024.0);
+  }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  constexpr Bytes& operator+=(Bytes other) {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes other) {
+    count_ -= other.count_;
+    return *this;
+  }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes{a.count_ + b.count_};
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes{a.count_ - b.count_};
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// A count of 4 KiB EPC pages — the granularity at which both the SGX
+/// driver and the device plugin account for protected memory.
+class Pages {
+ public:
+  static constexpr std::uint64_t kPageSize = 4096;
+
+  constexpr Pages() = default;
+  constexpr explicit Pages(std::uint64_t count) : count_(count) {}
+
+  /// Number of whole pages needed to hold `bytes` (rounds up).
+  [[nodiscard]] static constexpr Pages ceil_from(Bytes bytes) {
+    return Pages{(bytes.count() + kPageSize - 1) / kPageSize};
+  }
+
+  [[nodiscard]] constexpr std::uint64_t count() const { return count_; }
+  [[nodiscard]] constexpr Bytes as_bytes() const {
+    return Bytes{count_ * kPageSize};
+  }
+  [[nodiscard]] constexpr double as_mib() const { return as_bytes().as_mib(); }
+
+  constexpr auto operator<=>(const Pages&) const = default;
+
+  constexpr Pages& operator+=(Pages other) {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Pages& operator-=(Pages other) {
+    count_ -= other.count_;
+    return *this;
+  }
+  friend constexpr Pages operator+(Pages a, Pages b) {
+    return Pages{a.count_ + b.count_};
+  }
+  friend constexpr Pages operator-(Pages a, Pages b) {
+    return Pages{a.count_ - b.count_};
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+namespace literals {
+
+constexpr Bytes operator""_B(unsigned long long v) { return Bytes{v}; }
+constexpr Bytes operator""_KiB(unsigned long long v) { return Bytes{v << 10}; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return Bytes{v << 20}; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return Bytes{v << 30}; }
+constexpr Pages operator""_pages(unsigned long long v) { return Pages{v}; }
+
+}  // namespace literals
+
+/// Bytes from a fractional MiB amount (e.g. the 93.5 MiB usable EPC).
+[[nodiscard]] constexpr Bytes mib(double v) {
+  return Bytes{static_cast<std::uint64_t>(v * 1024.0 * 1024.0)};
+}
+
+[[nodiscard]] std::string to_string(Bytes b);
+[[nodiscard]] std::string to_string(Pages p);
+std::ostream& operator<<(std::ostream& os, Bytes b);
+std::ostream& operator<<(std::ostream& os, Pages p);
+
+}  // namespace sgxo

@@ -1,0 +1,77 @@
+// EPC contention monitor — operationalises the stated purpose of the
+// driver's per-process ioctl (§V-E):
+//
+//   "This metric is helpful to identify processes that should be
+//    preempted and possibly migrated, a feature especially useful in
+//    scenarios of high contention."
+//
+// The monitor samples every SGX node's driver each period. A node is
+// flagged *contended* once its EPC commitment stays above a pressure
+// threshold for N consecutive samples; for flagged nodes the monitor
+// ranks the resident pods by EPC footprint — the candidate list a
+// preemption or migration policy would consume.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "orch/api_server.hpp"
+#include "sim/simulation.hpp"
+
+namespace sgxo::core {
+
+struct ContentionReport {
+  struct Candidate {
+    cluster::PodName pod;
+    Pages pages{};
+  };
+  struct NodeReport {
+    cluster::NodeName node;
+    /// committed / total EPC at the last sample.
+    double pressure = 0.0;
+    /// Samples in a row at or above the threshold.
+    int consecutive_hot = 0;
+    bool contended = false;
+    /// Pods by EPC footprint, biggest first (preemption/migration order).
+    std::vector<Candidate> candidates;
+  };
+  TimePoint sampled_at;
+  std::vector<NodeReport> nodes;
+
+  [[nodiscard]] bool any_contended() const;
+  [[nodiscard]] const NodeReport* find(const cluster::NodeName& node) const;
+};
+
+class ContentionMonitor {
+ public:
+  ContentionMonitor(sim::Simulation& sim, orch::ApiServer& api,
+                    double pressure_threshold = 0.9,
+                    int consecutive_samples = 3,
+                    Duration period = Duration::seconds(10));
+  ~ContentionMonitor();
+
+  ContentionMonitor(const ContentionMonitor&) = delete;
+  ContentionMonitor& operator=(const ContentionMonitor&) = delete;
+
+  void start();
+  void stop();
+  /// Takes one sample immediately (also driven by the periodic timer).
+  void sample_once();
+
+  [[nodiscard]] const ContentionReport& report() const { return report_; }
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+
+ private:
+  sim::Simulation* sim_;
+  orch::ApiServer* api_;
+  double threshold_;
+  int required_consecutive_;
+  Duration period_;
+  sim::EventId timer_;
+  std::map<cluster::NodeName, int> hot_streak_;
+  ContentionReport report_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace sgxo::core

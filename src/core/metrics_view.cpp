@@ -1,0 +1,93 @@
+#include "core/metrics_view.hpp"
+
+#include "common/error.hpp"
+#include "tsdb/ql/executor.hpp"
+
+namespace sgxo::core {
+
+namespace {
+
+std::string window_literal(Duration window) {
+  return std::to_string(window.micros_count() / 1'000'000) + "s";
+}
+
+std::string inner_query(const std::string& measurement, Duration window) {
+  return "SELECT MAX(value) AS usage FROM \"" + measurement +
+         "\" WHERE value <> 0 AND time >= now() - " + window_literal(window) +
+         " GROUP BY pod_name, nodename";
+}
+
+std::string outer_query(const std::string& measurement, Duration window) {
+  return "SELECT SUM(usage) AS usage FROM (" +
+         inner_query(measurement, window) + ") GROUP BY nodename";
+}
+
+}  // namespace
+
+ClusterMetrics::ClusterMetrics(const tsdb::Database& db, Duration window)
+    : db_(&db), window_(window) {
+  SGXO_CHECK_MSG(window_ >= Duration::seconds(1),
+                 "metrics window below 1 s would render as 0s in InfluxQL");
+}
+
+std::string ClusterMetrics::listing1_query() const {
+  return "SELECT SUM(epc) AS epc FROM (SELECT MAX(value) AS epc FROM "
+         "\"sgx/epc\" WHERE value <> 0 AND time >= now() - " +
+         window_literal(window_) +
+         " GROUP BY pod_name, nodename) GROUP BY nodename";
+}
+
+std::vector<ClusterMetrics::PodUsage> ClusterMetrics::per_pod(
+    const std::string& measurement, TimePoint now) const {
+  const tsdb::ql::ResultSet result =
+      tsdb::ql::query(inner_query(measurement, window_), *db_, now);
+  std::vector<PodUsage> usages;
+  usages.reserve(result.rows.size());
+  for (const tsdb::ql::Row& row : result.rows) {
+    PodUsage usage;
+    const auto pod_it = row.tags.find("pod_name");
+    const auto node_it = row.tags.find("nodename");
+    usage.pod = pod_it == row.tags.end() ? "" : pod_it->second;
+    usage.node = node_it == row.tags.end() ? "" : node_it->second;
+    usage.usage =
+        Bytes{static_cast<std::uint64_t>(row.field("usage"))};
+    usages.push_back(std::move(usage));
+  }
+  return usages;
+}
+
+std::map<cluster::NodeName, Bytes> ClusterMetrics::per_node(
+    const std::string& measurement, TimePoint now) const {
+  const tsdb::ql::ResultSet result =
+      tsdb::ql::query(outer_query(measurement, window_), *db_, now);
+  std::map<cluster::NodeName, Bytes> usage;
+  for (const tsdb::ql::Row& row : result.rows) {
+    const auto node_it = row.tags.find("nodename");
+    const std::string node =
+        node_it == row.tags.end() ? "" : node_it->second;
+    usage[node] = Bytes{static_cast<std::uint64_t>(row.field("usage"))};
+  }
+  return usage;
+}
+
+std::vector<ClusterMetrics::PodUsage> ClusterMetrics::epc_per_pod(
+    TimePoint now) const {
+  return per_pod("sgx/epc", now);
+}
+
+std::map<cluster::NodeName, Bytes> ClusterMetrics::epc_per_node(
+    TimePoint now) const {
+  return per_node("sgx/epc", now);
+}
+
+std::vector<ClusterMetrics::PodUsage> ClusterMetrics::memory_per_pod(
+    TimePoint now) const {
+  return per_pod("memory/usage", now);
+}
+
+std::map<cluster::NodeName, Bytes> ClusterMetrics::memory_per_node(
+    TimePoint now) const {
+  return per_node("memory/usage", now);
+}
+
+}  // namespace sgxo::core

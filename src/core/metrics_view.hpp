@@ -1,0 +1,65 @@
+// The scheduler's sliding-window view of cluster metrics (paper §V-C).
+//
+// All reads go through the InfluxQL engine, exactly as the real system
+// queries InfluxDB — including the paper's Listing 1 verbatim for per-node
+// EPC usage. The window (25 s in Listing 1) is configurable.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/pod.hpp"
+#include "cluster/resources.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "tsdb/model.hpp"
+
+namespace sgxo::core {
+
+class ClusterMetrics {
+ public:
+  explicit ClusterMetrics(const tsdb::Database& db,
+                          Duration window = Duration::seconds(25));
+
+  [[nodiscard]] Duration window() const { return window_; }
+
+  struct PodUsage {
+    cluster::PodName pod;
+    cluster::NodeName node;
+    Bytes usage{};
+  };
+
+  /// Per-pod EPC usage over the window: the inner query of Listing 1
+  /// (MAX(value) per pod_name, nodename with value <> 0).
+  [[nodiscard]] std::vector<PodUsage> epc_per_pod(TimePoint now) const;
+
+  /// Per-node EPC usage over the window — the paper's Listing 1, run
+  /// verbatim through the query engine:
+  ///   SELECT SUM(epc) AS epc FROM
+  ///     (SELECT MAX(value) AS epc FROM "sgx/epc"
+  ///      WHERE value <> 0 AND time >= now() - <window>
+  ///      GROUP BY pod_name, nodename)
+  ///   GROUP BY nodename
+  [[nodiscard]] std::map<cluster::NodeName, Bytes> epc_per_node(
+      TimePoint now) const;
+
+  /// The equivalent queries over Heapster's standard-memory measurement.
+  [[nodiscard]] std::vector<PodUsage> memory_per_pod(TimePoint now) const;
+  [[nodiscard]] std::map<cluster::NodeName, Bytes> memory_per_node(
+      TimePoint now) const;
+
+  /// The exact Listing-1 text executed by epc_per_node (for inspection).
+  [[nodiscard]] std::string listing1_query() const;
+
+ private:
+  [[nodiscard]] std::vector<PodUsage> per_pod(const std::string& measurement,
+                                              TimePoint now) const;
+  [[nodiscard]] std::map<cluster::NodeName, Bytes> per_node(
+      const std::string& measurement, TimePoint now) const;
+
+  const tsdb::Database* db_;
+  Duration window_;
+};
+
+}  // namespace sgxo::core

@@ -1,0 +1,167 @@
+#include "core/sgx_scheduler.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "orch/default_scheduler.hpp"
+
+namespace sgxo::core {
+
+std::string SgxAwareScheduler::default_name(PlacementPolicy policy) {
+  return std::string("sgx-") + to_string(policy);
+}
+
+namespace {
+
+std::string resolve_name(const SgxSchedulerConfig& config) {
+  return config.name.empty() ? SgxAwareScheduler::default_name(config.policy)
+                             : config.name;
+}
+
+}  // namespace
+
+SgxAwareScheduler::SgxAwareScheduler(sim::Simulation& sim,
+                                     orch::ApiServer& api,
+                                     const tsdb::Database& db,
+                                     SgxSchedulerConfig config)
+    : Scheduler(sim, api, resolve_name(config), config.period),
+      config_(std::move(config)),
+      metrics_(db, config_.metrics_window) {}
+
+std::vector<orch::NodeView> SgxAwareScheduler::collect_views() {
+  // Start from the request-based view: capacities plus the device-plugin
+  // accounting column (epc_requested) and request-based usage.
+  std::vector<orch::NodeView> views = orch::request_based_views(api());
+
+  const TimePoint now = sim().now();
+  const auto epc_measured = metrics_.epc_per_pod(now);
+  const auto mem_measured = metrics_.memory_per_pod(now);
+
+  for (orch::NodeView& view : views) {
+    // Pods the control plane currently assigns to this node.
+    const std::vector<cluster::PodName> assigned =
+        api().assigned_pods(view.name);
+    const std::set<cluster::PodName> assigned_set(assigned.begin(),
+                                                  assigned.end());
+
+    // Replace the request-based estimate with measurement-informed usage.
+    Bytes memory_used{};
+    Pages epc_used{};
+    std::set<cluster::PodName> measured_pods;
+
+    for (const ClusterMetrics::PodUsage& usage : epc_measured) {
+      if (usage.node != view.name) continue;
+      epc_used += Pages::ceil_from(usage.usage);
+      measured_pods.insert(usage.pod);
+    }
+    for (const ClusterMetrics::PodUsage& usage : mem_measured) {
+      if (usage.node != view.name) continue;
+      memory_used += usage.usage;
+      measured_pods.insert(usage.pod);
+    }
+
+    // Assigned pods not yet visible in the window contribute their
+    // declared requests — "combining the two kinds of data" (§IV).
+    for (const cluster::PodName& pod : assigned) {
+      if (measured_pods.find(pod) != measured_pods.end()) continue;
+      const cluster::ResourceAmounts request =
+          api().pod(pod).spec.total_requests();
+      memory_used += request.memory;
+      epc_used += request.epc_pages;
+    }
+
+    view.memory_used = memory_used;
+    view.epc_used = epc_used;
+    // view.epc_requested stays request-based: it mirrors the device
+    // plugin's hard page accounting.
+  }
+  return views;
+}
+
+std::optional<cluster::NodeName> SgxAwareScheduler::select_node(
+    const cluster::PodSpec& pod, const std::vector<orch::NodeView>& feasible,
+    const std::vector<orch::NodeView>& all) {
+  switch (config_.policy) {
+    case PlacementPolicy::kBinpack:
+      return binpack_select(pod, feasible);
+    case PlacementPolicy::kSpread:
+      return spread_select(pod, feasible, all);
+  }
+  return std::nullopt;
+}
+
+void SgxAwareScheduler::on_unschedulable(
+    const cluster::PodSpec& pod, const std::vector<orch::NodeView>& all) {
+  if (!config_.enable_preemption || pod.priority <= 0) return;
+  const cluster::ResourceAmounts needed = pod.total_requests();
+
+  // Per node, collect strictly-lower-priority victims (cheapest first:
+  // lowest priority, then smallest footprint) and check whether evicting
+  // a prefix of them makes the pod fit. The node needing the fewest
+  // victims wins; ties break by name.
+  struct Candidate {
+    cluster::NodeName node;
+    std::vector<cluster::PodName> victims;
+  };
+  std::optional<Candidate> best;
+
+  for (const orch::NodeView& view : all) {
+    if (pod.wants_sgx() && !view.sgx_capable) continue;
+    if (!pod.node_selector.empty() && pod.node_selector != view.name) {
+      continue;
+    }
+
+    struct Victim {
+      cluster::PodName name;
+      int priority;
+      cluster::ResourceAmounts request;
+    };
+    std::vector<Victim> victims;
+    for (const cluster::PodName& name : api().assigned_pods(view.name)) {
+      const orch::PodRecord& record = api().pod(name);
+      if (record.spec.priority >= pod.priority) continue;
+      victims.push_back(Victim{name, record.spec.priority,
+                               record.spec.total_requests()});
+    }
+    std::sort(victims.begin(), victims.end(),
+              [](const Victim& a, const Victim& b) {
+                if (a.priority != b.priority) return a.priority < b.priority;
+                if (a.request.epc_pages != b.request.epc_pages) {
+                  return a.request.epc_pages < b.request.epc_pages;
+                }
+                return a.request.memory < b.request.memory;
+              });
+
+    orch::NodeView hypothetical = view;
+    std::vector<cluster::PodName> chosen;
+    for (const Victim& victim : victims) {
+      if (orch::fits(pod, hypothetical)) break;
+      hypothetical.memory_used =
+          hypothetical.memory_used >= victim.request.memory
+              ? hypothetical.memory_used - victim.request.memory
+              : Bytes{0};
+      hypothetical.epc_used =
+          hypothetical.epc_used >= victim.request.epc_pages
+              ? hypothetical.epc_used - victim.request.epc_pages
+              : Pages{0};
+      hypothetical.epc_requested =
+          hypothetical.epc_requested >= victim.request.epc_pages
+              ? hypothetical.epc_requested - victim.request.epc_pages
+              : Pages{0};
+      chosen.push_back(victim.name);
+    }
+    if (!orch::fits(pod, hypothetical)) continue;  // even total eviction fails
+    if (!best || chosen.size() < best->victims.size() ||
+        (chosen.size() == best->victims.size() && view.name < best->node)) {
+      best = Candidate{view.name, std::move(chosen)};
+    }
+  }
+
+  if (!best || best->victims.empty()) return;
+  for (const cluster::PodName& victim : best->victims) {
+    api().evict(victim, "Preempted by higher-priority pod " + pod.name);
+    ++preemptions_;
+  }
+}
+
+}  // namespace sgxo::core

@@ -1,0 +1,79 @@
+// The SGX-aware scheduler — the paper's primary contribution (§IV, §V-B).
+//
+// Unlike the Kubernetes default scheduler, which only trusts the statically
+// declared requests, this scheduler combines:
+//   * the pending jobs' declared requests (standard memory + EPC pages),
+//   * live sliding-window usage measurements from the time-series database
+//     (Heapster for memory, the SGX probe for EPC — queried through the
+//     InfluxQL engine, Listing 1),
+//   * the device plugin's page accounting (the hard no-over-commitment
+//     floor for the EPC).
+//
+// Per node, the usage estimate of each assigned pod is its measured usage
+// when the window contains a sample for it, and its declared request until
+// then (bindings lag the probes by up to one probe period). Samples of
+// recently dead pods still inside the window count as usage, exactly as
+// Listing 1 would report them.
+//
+// Non-preemptive; pods stay in the API server's FCFS pending queue until a
+// cycle finds room. Packaged to run as a pod itself, multiple instances
+// (binpack + spread + the default) can operate side by side, each pulling
+// only the pods that name it (§V-B).
+#pragma once
+
+#include <string>
+
+#include "core/metrics_view.hpp"
+#include "core/policies.hpp"
+#include "orch/scheduler_framework.hpp"
+#include "tsdb/model.hpp"
+
+namespace sgxo::core {
+
+struct SgxSchedulerConfig {
+  PlacementPolicy policy = PlacementPolicy::kBinpack;
+  Duration period = Duration::seconds(5);
+  /// Sliding window of the usage queries (25 s in Listing 1).
+  Duration metrics_window = Duration::seconds(25);
+  /// Scheduler name pods select; empty derives "sgx-binpack"/"sgx-spread".
+  std::string name;
+  /// Priority preemption under contention (extension; the paper's
+  /// per-process EPC ioctl exists "to identify processes that should be
+  /// preempted", §V-E): a pending pod that fits nowhere may evict
+  /// strictly-lower-priority pods from one node. Off by default — the
+  /// paper's scheduler is non-preemptive.
+  bool enable_preemption = false;
+};
+
+class SgxAwareScheduler final : public orch::Scheduler {
+ public:
+  SgxAwareScheduler(sim::Simulation& sim, orch::ApiServer& api,
+                    const tsdb::Database& db, SgxSchedulerConfig config = {});
+
+  [[nodiscard]] PlacementPolicy policy() const { return config_.policy; }
+  [[nodiscard]] const ClusterMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] std::uint64_t preemptions() const { return preemptions_; }
+
+  [[nodiscard]] static std::string default_name(PlacementPolicy policy);
+
+ protected:
+  [[nodiscard]] std::vector<orch::NodeView> collect_views() override;
+  [[nodiscard]] std::optional<cluster::NodeName> select_node(
+      const cluster::PodSpec& pod,
+      const std::vector<orch::NodeView>& feasible,
+      const std::vector<orch::NodeView>& all) override;
+
+  /// Preemption: evicts the cheapest set of strictly-lower-priority pods
+  /// on a single node that makes `pod` fit there; the pod itself binds on
+  /// a following cycle (non-preemptive placement is preserved within a
+  /// cycle).
+  void on_unschedulable(const cluster::PodSpec& pod,
+                        const std::vector<orch::NodeView>& all) override;
+
+ private:
+  SgxSchedulerConfig config_;
+  ClusterMetrics metrics_;
+  std::uint64_t preemptions_ = 0;
+};
+
+}  // namespace sgxo::core

@@ -1,0 +1,137 @@
+#include "exp/fixture.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sgxo::exp {
+
+using namespace sgxo::literals;
+
+SimulatedCluster::SimulatedCluster(ClusterConfig config)
+    : config_(std::move(config)), perf_(config_.perf) {
+  api_ = std::make_unique<orch::ApiServer>(sim_);
+
+  // The evaluation image everyone runs (pulled once per node, then cached).
+  registry_.publish("sebvaucher/sgx-base:stress-sgx", 200_MiB);
+
+  for (cluster::MachineSpec spec : config_.machines) {
+    if (spec.epc.has_value() && config_.epc_usable_override.has_value()) {
+      spec.epc = sgx::EpcConfig::with_usable(*config_.epc_usable_override);
+    }
+    if (spec.epc.has_value()) {
+      spec.sgx_version = config_.sgx_version;
+    }
+    auto node = std::make_unique<cluster::Node>(spec,
+                                                config_.enforce_epc_limits);
+    auto kubelet = std::make_unique<cluster::Kubelet>(sim_, *node, perf_,
+                                                      registry_, *api_);
+    api_->register_node(*node, *kubelet);
+    nodes_.push_back(std::move(node));
+    kubelets_.push_back(std::move(kubelet));
+  }
+
+  heapster_ = std::make_unique<orch::Heapster>(sim_, *api_, db_,
+                                               config_.heapster_period);
+  daemonset_ = std::make_unique<orch::ProbeDaemonSet>(
+      sim_, *api_, db_, config_.probe_period);
+}
+
+std::vector<cluster::Node*> SimulatedCluster::nodes() {
+  std::vector<cluster::Node*> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    out.push_back(node.get());
+  }
+  return out;
+}
+
+cluster::Node* SimulatedCluster::find_node(const cluster::NodeName& name) {
+  for (const auto& node : nodes_) {
+    if (node->name() == name) return node.get();
+  }
+  return nullptr;
+}
+
+std::size_t SimulatedCluster::sgx_node_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const auto& node) { return node->has_sgx(); }));
+}
+
+core::SgxAwareScheduler& SimulatedCluster::add_sgx_scheduler(
+    core::PlacementPolicy policy, std::string name) {
+  core::SgxSchedulerConfig sched_config;
+  sched_config.policy = policy;
+  sched_config.name = std::move(name);
+  return add_sgx_scheduler(std::move(sched_config));
+}
+
+core::SgxAwareScheduler& SimulatedCluster::add_sgx_scheduler(
+    core::SgxSchedulerConfig config) {
+  if (config.period == Duration{}) {
+    config.period = config_.scheduler_period;
+  } else if (config.period == Duration::seconds(5)) {
+    config.period = config_.scheduler_period;  // struct default → cluster's
+  }
+  if (config.metrics_window == Duration::seconds(25)) {
+    config.metrics_window = config_.metrics_window;
+  }
+  auto scheduler = std::make_unique<core::SgxAwareScheduler>(
+      sim_, *api_, db_, std::move(config));
+  scheduler->start();
+  auto& ref = static_cast<core::SgxAwareScheduler&>(*schedulers_.emplace_back(
+      std::move(scheduler)));
+  return ref;
+}
+
+orch::DefaultScheduler& SimulatedCluster::add_default_scheduler() {
+  auto scheduler = std::make_unique<orch::DefaultScheduler>(
+      sim_, *api_, config_.scheduler_period);
+  scheduler->start();
+  orch::DefaultScheduler& ref = *scheduler;
+  schedulers_.push_back(std::move(scheduler));
+  return ref;
+}
+
+void SimulatedCluster::start_monitoring() {
+  heapster_->start();
+  daemonset_->start();
+}
+
+void SimulatedCluster::stop_all() {
+  heapster_->stop();
+  daemonset_->stop();
+  for (const auto& scheduler : schedulers_) {
+    scheduler->stop();
+  }
+}
+
+bool SimulatedCluster::run_until_quiescent(std::size_t expected_pods,
+                                           Duration deadline) {
+  const TimePoint limit = sim_.now() + deadline;
+  const Duration check = Duration::seconds(30);
+
+  const auto all_terminal = [this] {
+    for (const orch::PodRecord* record : api_->all_pods()) {
+      if (record->phase != cluster::PodPhase::kSucceeded &&
+          record->phase != cluster::PodPhase::kFailed) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const auto quiescent = [&] {
+    return api_->pod_count() >= expected_pods && all_terminal();
+  };
+
+  while (sim_.now() < limit) {
+    if (quiescent()) return true;
+    const TimePoint next = std::min(limit, sim_.now() + check);
+    sim_.run_until(next);
+    if (sim_.idle()) break;
+  }
+  return quiescent();
+}
+
+}  // namespace sgxo::exp

@@ -1,0 +1,90 @@
+#include "exp/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sgxo::exp {
+
+double WorkloadSummary::work_byte_seconds() const {
+  return static_cast<double>(sgx_jobs) *
+         static_cast<double>(mean_epc_request.count()) *
+         mean_duration.as_seconds();
+}
+
+WorkloadSummary WorkloadSummary::from_jobs(
+    const std::vector<trace::TraceJob>& jobs,
+    const trace::ScalingConfig& scaling) {
+  WorkloadSummary summary;
+  Duration first = Duration::hours(1'000'000);
+  Duration last{};
+  double request_sum = 0.0;
+  double duration_sum = 0.0;
+  for (const trace::TraceJob& job : jobs) {
+    if (!job.sgx) continue;
+    ++summary.sgx_jobs;
+    const trace::ScaledJob scaled = trace::scale_job(job, scaling);
+    request_sum += static_cast<double>(scaled.advertised.count());
+    duration_sum += job.duration.as_seconds();
+    first = std::min(first, job.submission);
+    last = std::max(last, job.submission);
+  }
+  if (summary.sgx_jobs == 0) return summary;
+  summary.span = last - first;
+  summary.mean_epc_request = Bytes{static_cast<std::uint64_t>(
+      request_sum / static_cast<double>(summary.sgx_jobs))};
+  summary.mean_duration = Duration::from_seconds(
+      duration_sum / static_cast<double>(summary.sgx_jobs));
+  return summary;
+}
+
+PlanEstimate estimate(const WorkloadSummary& workload,
+                      const ClusterCapacity& cluster) {
+  SGXO_CHECK_MSG(cluster.sgx_nodes > 0 &&
+                     cluster.usable_epc_per_node.count() > 0,
+                 "cluster needs SGX capacity");
+  PlanEstimate plan;
+  if (workload.sgx_jobs == 0) {
+    plan.stable = true;
+    return plan;
+  }
+  SGXO_CHECK_MSG(workload.span > Duration{},
+                 "workload needs a positive arrival span");
+
+  const double capacity = static_cast<double>(cluster.total().count());
+  const double span_s = workload.span.as_seconds();
+  const double work = workload.work_byte_seconds();
+
+  plan.utilization = work / (capacity * span_s);
+  plan.stable = plan.utilization < 1.0;
+
+  // Fluid makespan: arrivals spread over `span`; the EPC drains `capacity`
+  // byte-seconds per second. With ρ <= 1 the batch ends roughly one job
+  // after the last arrival; beyond saturation a backlog of
+  // (work - capacity·span) byte-seconds remains to drain.
+  const double service_tail = workload.mean_duration.as_seconds();
+  double makespan_s = span_s + service_tail;
+  if (!plan.stable) {
+    makespan_s = span_s + (work - capacity * span_s) / capacity +
+                 service_tail;
+  }
+  plan.makespan = Duration::from_seconds(makespan_s);
+
+  // Mean wait: heavy-traffic blend. Under saturation the average job sees
+  // half the peak backlog; below it, an M/M/1-style term that vanishes at
+  // low load. Discreteness (whole jobs on two nodes) is ignored — this is
+  // a planning estimate, not the simulator.
+  double wait_s = 0.0;
+  if (plan.stable) {
+    const double rho = plan.utilization;
+    wait_s = rho / (1.0 - rho) * service_tail * 0.5;
+  } else {
+    const double drain_s = (work - capacity * span_s) / capacity;
+    wait_s = drain_s * 0.5;
+  }
+  plan.mean_wait = Duration::from_seconds(wait_s);
+  return plan;
+}
+
+}  // namespace sgxo::exp

@@ -1,0 +1,60 @@
+// Analytical EPC capacity planner: a closed-form counterpart to the
+// trace-replay simulation, answering the paper's §VI-D question — "how do
+// bigger protected memory sizes change turnaround?" — in microseconds
+// instead of a simulation run. Fluid-approximation estimates only; the
+// tests validate them against the simulator (stability boundary, factor-2
+// makespan agreement across the Fig. 7 sweep, monotonicity), which is
+// what a capacity-planning tool needs.
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "trace/job.hpp"
+#include "trace/scaler.hpp"
+
+namespace sgxo::exp {
+
+/// First-moment summary of the SGX part of a workload.
+struct WorkloadSummary {
+  std::size_t sgx_jobs = 0;
+  /// Submission span (first to last arrival).
+  Duration span{};
+  /// Mean advertised EPC request per SGX job.
+  Bytes mean_epc_request{};
+  Duration mean_duration{};
+
+  /// Aggregate EPC demand in byte-seconds.
+  [[nodiscard]] double work_byte_seconds() const;
+
+  /// Summarises the SGX-designated jobs of a trace under a scaling config.
+  [[nodiscard]] static WorkloadSummary from_jobs(
+      const std::vector<trace::TraceJob>& jobs,
+      const trace::ScalingConfig& scaling = {});
+};
+
+struct ClusterCapacity {
+  std::size_t sgx_nodes = 2;
+  Bytes usable_epc_per_node = mib(93.5);
+
+  [[nodiscard]] Bytes total() const {
+    return Bytes{usable_epc_per_node.count() * sgx_nodes};
+  }
+};
+
+struct PlanEstimate {
+  /// Offered EPC load ρ = work / (capacity × span).
+  double utilization = 0.0;
+  /// ρ < 1: the queue drains within the arrival span.
+  bool stable = false;
+  /// Fluid estimate of batch completion (first arrival → last job done).
+  Duration makespan{};
+  /// Rough mean queueing delay (fluid backlog / heavy-traffic blend).
+  Duration mean_wait{};
+};
+
+[[nodiscard]] PlanEstimate estimate(const WorkloadSummary& workload,
+                                    const ClusterCapacity& cluster);
+
+}  // namespace sgxo::exp

@@ -1,0 +1,104 @@
+// End-to-end trace-replay experiment (paper §VI-B..F): generate the
+// scaled Borg slice, designate SGX jobs, optionally deploy malicious
+// containers, replay against a fully assembled simulated cluster, and
+// collect the metrics every evaluation figure is built from.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "core/policies.hpp"
+#include "exp/fixture.hpp"
+#include "trace/generator.hpp"
+#include "trace/scaler.hpp"
+
+namespace sgxo::exp {
+
+struct ReplayOptions {
+  /// Fraction of trace jobs designated SGX-enabled (§VI-B sweeps 0..1).
+  double sgx_fraction = 0.5;
+  core::PlacementPolicy policy = core::PlacementPolicy::kBinpack;
+  /// Modified driver (true) vs stock driver (false) — Fig. 11.
+  bool enforce_limits = true;
+  /// Simulated usable EPC size override (Fig. 7: 32/64/128/256 MiB).
+  std::optional<Bytes> epc_usable_override;
+  /// SGX generation of the cluster's SGX machines and, when < 1, the
+  /// dynamic-memory profile of the stressors (§VI-G what-if): the fraction
+  /// of each job's peak committed at enclave build. Only takes effect with
+  /// an SGX 2 cluster.
+  sgx::SgxVersion sgx_version = sgx::SgxVersion::kSgx1;
+  double initial_usage_fraction = 1.0;
+  /// Malicious squatters per SGX node (Fig. 11 deploys one per node).
+  std::size_t malicious_per_sgx_node = 0;
+  /// Fraction of a node's EPC each malicious container really allocates.
+  double malicious_epc_fraction = 0.5;
+  std::uint64_t seed = 42;
+  /// Uses the request-only Kubernetes default scheduler instead of the
+  /// SGX-aware one (baseline for the measured-metrics ablation).
+  bool use_default_scheduler = false;
+  /// Strict FCFS (head-of-line blocking) instead of Kubernetes-style
+  /// skip-unschedulable (design-choice ablation).
+  bool strict_fcfs = false;
+  /// Runs the enclave-migration defragmentation controller (§VIII
+  /// extension) alongside the scheduler.
+  bool enable_migration = false;
+  trace::BorgTraceConfig trace_config{};
+  trace::ScalingConfig scaling{};
+  ClusterConfig cluster{};
+  /// Sampling period of the pending-queue series (Fig. 7).
+  Duration pending_sample_period = Duration::minutes(1);
+  /// Hard stop for pathological configurations.
+  Duration deadline = Duration::hours(24);
+};
+
+/// Outcome of one trace job (malicious pods are reported separately).
+struct JobOutcome {
+  std::string pod;
+  bool sgx = false;
+  /// Advertised request in bytes (EPC bytes for SGX jobs, memory else).
+  Bytes requested{};
+  Bytes actual{};
+  Duration trace_duration{};
+  std::optional<Duration> waiting;     // submission → running
+  std::optional<Duration> turnaround;  // submission → terminal
+  bool failed = false;
+  std::string failure_reason;
+};
+
+/// One sample of the pending queue (Fig. 7 series).
+struct PendingSample {
+  Duration at{};  // since replay start
+  Bytes epc_requested{};
+  Bytes memory_requested{};
+  std::size_t pending_pods = 0;
+};
+
+struct ReplayResult {
+  std::vector<JobOutcome> jobs;
+  std::vector<PendingSample> pending_series;
+  /// First submission → last trace-job termination.
+  Duration makespan{};
+  /// Sum of trace-reported durations (the "Trace" bar of Fig. 10).
+  Duration total_trace_duration{};
+  std::size_t failed_jobs = 0;
+  /// Jobs whose request exceeds every node — capped to the largest node
+  /// (see EXPERIMENTS.md); count reported for transparency.
+  std::size_t capped_jobs = 0;
+  bool completed = false;  // all trace jobs terminal before the deadline
+
+  /// Waiting times in seconds of all jobs that started (optionally only
+  /// (non-)SGX ones).
+  [[nodiscard]] std::vector<double> waiting_seconds(
+      std::optional<bool> sgx_only = std::nullopt) const;
+  /// Sum of turnaround times over terminal jobs of the given kind.
+  [[nodiscard]] Duration total_turnaround(
+      std::optional<bool> sgx_only = std::nullopt) const;
+};
+
+[[nodiscard]] ReplayResult run_replay(const ReplayOptions& options);
+
+}  // namespace sgxo::exp

@@ -1,0 +1,301 @@
+#include "orch/api_server.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace sgxo::orch {
+
+std::optional<Duration> PodRecord::waiting_time() const {
+  if (!started.has_value()) return std::nullopt;
+  return *started - submitted;
+}
+
+std::optional<Duration> PodRecord::turnaround_time() const {
+  if (!finished.has_value()) return std::nullopt;
+  return *finished - submitted;
+}
+
+ApiServer::ApiServer(sim::Simulation& sim) : sim_(&sim) {}
+
+void ApiServer::register_node(cluster::Node& node, cluster::Kubelet& kubelet) {
+  SGXO_CHECK_MSG(find_node(node.name()) == nullptr,
+                 "node name already registered");
+  nodes_.push_back(NodeEntry{&node, &kubelet});
+}
+
+std::vector<ApiServer::NodeEntry> ApiServer::schedulable_nodes() const {
+  std::vector<NodeEntry> out;
+  for (const NodeEntry& entry : nodes_) {
+    if (entry.node->schedulable()) out.push_back(entry);
+  }
+  return out;
+}
+
+std::vector<ApiServer::NodeEntry> ApiServer::all_nodes() const {
+  return nodes_;
+}
+
+const ApiServer::NodeEntry* ApiServer::find_node(
+    const cluster::NodeName& name) const {
+  const auto it = std::find_if(
+      nodes_.begin(), nodes_.end(),
+      [&](const NodeEntry& entry) { return entry.node->name() == name; });
+  return it == nodes_.end() ? nullptr : &*it;
+}
+
+void ApiServer::set_quota(const std::string& namespace_name,
+                          ResourceQuota quota) {
+  SGXO_CHECK_MSG(!namespace_name.empty(), "namespace must be named");
+  quotas_[namespace_name] = quota;
+}
+
+std::optional<ResourceQuota> ApiServer::quota(
+    const std::string& namespace_name) const {
+  const auto it = quotas_.find(namespace_name);
+  if (it == quotas_.end()) return std::nullopt;
+  return it->second;
+}
+
+cluster::ResourceAmounts ApiServer::namespace_usage(
+    const std::string& namespace_name) const {
+  cluster::ResourceAmounts usage;
+  for (const auto& [name, record] : pods_) {
+    if (record.spec.namespace_name != namespace_name) continue;
+    if (record.phase == cluster::PodPhase::kSucceeded ||
+        record.phase == cluster::PodPhase::kFailed) {
+      continue;
+    }
+    usage = usage + record.spec.total_requests();
+  }
+  return usage;
+}
+
+void ApiServer::submit(cluster::PodSpec spec) {
+  SGXO_CHECK_MSG(!spec.name.empty(), "pod needs a name");
+  SGXO_CHECK_MSG(pods_.find(spec.name) == pods_.end(),
+                 "pod name already exists: " + spec.name);
+
+  // Quota admission: the namespace's non-terminal requests plus this pod
+  // must fit every limited resource.
+  const auto quota_it = quotas_.find(spec.namespace_name);
+  if (quota_it != quotas_.end()) {
+    const ResourceQuota& quota = quota_it->second;
+    const cluster::ResourceAmounts usage =
+        namespace_usage(spec.namespace_name);
+    const cluster::ResourceAmounts request = spec.total_requests();
+    if (quota.memory.count() > 0 &&
+        usage.memory + request.memory > quota.memory) {
+      throw QuotaExceeded{"namespace '" + spec.namespace_name +
+                          "' memory quota exceeded by pod " + spec.name};
+    }
+    if (quota.epc_pages.count() > 0 &&
+        usage.epc_pages + request.epc_pages > quota.epc_pages) {
+      throw QuotaExceeded{"namespace '" + spec.namespace_name +
+                          "' EPC page quota exceeded by pod " + spec.name};
+    }
+  }
+
+  PodRecord record;
+  record.spec = std::move(spec);
+  record.submitted = sim_->now();
+  const cluster::PodName name = record.spec.name;
+  pods_.emplace(name, std::move(record));
+  submission_order_.push_back(name);
+  record_event(name, "Submitted");
+  notify_watchers(name, cluster::PodPhase::kPending);
+}
+
+std::vector<cluster::PodName> ApiServer::pending_pods(
+    const std::string& scheduler_name) const {
+  std::vector<cluster::PodName> out;
+  for (const cluster::PodName& name : submission_order_) {
+    const PodRecord& record = pods_.at(name);
+    if (record.phase != cluster::PodPhase::kPending) continue;
+    const std::string& owner = record.spec.scheduler_name.empty()
+                                   ? default_scheduler_
+                                   : record.spec.scheduler_name;
+    if (owner == scheduler_name) out.push_back(name);
+  }
+  // Priority order, FCFS within a class; stable sort keeps the submission
+  // order produced above for equal priorities.
+  std::stable_sort(out.begin(), out.end(),
+                   [this](const cluster::PodName& a,
+                          const cluster::PodName& b) {
+                     return pods_.at(a).spec.priority >
+                            pods_.at(b).spec.priority;
+                   });
+  return out;
+}
+
+void ApiServer::bind(const cluster::PodName& pod,
+                     const cluster::NodeName& node) {
+  PodRecord& record = mutable_pod(pod);
+  SGXO_CHECK_MSG(record.phase == cluster::PodPhase::kPending,
+                 "binding a non-pending pod");
+  const NodeEntry* entry = find_node(node);
+  SGXO_CHECK_MSG(entry != nullptr, "binding to unknown node " + node);
+  SGXO_CHECK_MSG(entry->node->schedulable(), "binding to master node");
+  record.phase = cluster::PodPhase::kBound;
+  record.bound = sim_->now();
+  record.node = node;
+  record_event(pod, "Scheduled to " + node);
+  notify_watchers(pod, cluster::PodPhase::kBound);
+  entry->kubelet->admit_pod(record.spec);
+}
+
+void ApiServer::evict(const cluster::PodName& pod,
+                      const std::string& reason) {
+  PodRecord& record = mutable_pod(pod);
+  SGXO_CHECK_MSG(record.phase == cluster::PodPhase::kBound ||
+                     record.phase == cluster::PodPhase::kRunning,
+                 "only bound/running pods can be evicted");
+  const NodeEntry* entry = find_node(record.node);
+  SGXO_CHECK(entry != nullptr);
+  entry->kubelet->evict_pod(pod);
+  record.phase = cluster::PodPhase::kPending;
+  record.bound.reset();
+  record.node.clear();
+  ++record.evictions;
+  record_event(pod, "Evicted: " + reason);
+  notify_watchers(pod, cluster::PodPhase::kPending);
+}
+
+void ApiServer::fail_node(const cluster::NodeName& node) {
+  const NodeEntry* entry = find_node(node);
+  SGXO_CHECK_MSG(entry != nullptr, "failing unknown node " + node);
+  entry->node->set_ready(false);
+  entry->kubelet->handle_node_failure();
+}
+
+void ApiServer::recover_node(const cluster::NodeName& node) {
+  const NodeEntry* entry = find_node(node);
+  SGXO_CHECK_MSG(entry != nullptr, "recovering unknown node " + node);
+  entry->node->set_ready(true);
+}
+
+void ApiServer::migrate(const cluster::PodName& pod,
+                        const cluster::NodeName& target,
+                        sgx::MigrationService& service) {
+  PodRecord& record = mutable_pod(pod);
+  SGXO_CHECK_MSG(record.phase == cluster::PodPhase::kRunning,
+                 "only running pods can be live-migrated");
+  SGXO_CHECK_MSG(record.node != target, "pod is already on the target node");
+  const NodeEntry* source = find_node(record.node);
+  const NodeEntry* destination = find_node(target);
+  SGXO_CHECK_MSG(source != nullptr && destination != nullptr,
+                 "migration endpoints must be registered nodes");
+  SGXO_CHECK_MSG(destination->node->schedulable() &&
+                     destination->node->has_sgx(),
+                 "migration target must be a schedulable SGX node");
+  SGXO_CHECK_MSG(source->kubelet->pod_migratable(pod),
+                 "pod is not in a migratable state");
+
+  cluster::Kubelet::MigrationBundle bundle =
+      source->kubelet->extract_for_migration(pod, service);
+  const Duration inbound =
+      bundle.checkpoint_latency + service.transfer_latency(bundle.checkpoint);
+  record.node = target;
+  record_event(pod, "Migrated " + source->node->name() + " -> " + target);
+  destination->kubelet->admit_migrated(std::move(bundle), service, inbound);
+}
+
+std::vector<cluster::PodName> ApiServer::assigned_pods(
+    const cluster::NodeName& node) const {
+  std::vector<cluster::PodName> out;
+  for (const auto& [name, record] : pods_) {
+    if (record.node == node && (record.phase == cluster::PodPhase::kBound ||
+                                record.phase == cluster::PodPhase::kRunning)) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+const PodRecord& ApiServer::pod(const cluster::PodName& name) const {
+  const auto it = pods_.find(name);
+  SGXO_CHECK_MSG(it != pods_.end(), "unknown pod " + name);
+  return it->second;
+}
+
+bool ApiServer::has_pod(const cluster::PodName& name) const {
+  return pods_.find(name) != pods_.end();
+}
+
+std::vector<const PodRecord*> ApiServer::all_pods() const {
+  std::vector<const PodRecord*> out;
+  out.reserve(submission_order_.size());
+  for (const cluster::PodName& name : submission_order_) {
+    out.push_back(&pods_.at(name));
+  }
+  return out;
+}
+
+ApiServer::WatchId ApiServer::watch_pods(WatchCallback callback) {
+  SGXO_CHECK_MSG(static_cast<bool>(callback), "null watch callback");
+  const WatchId id = next_watch_++;
+  watches_.emplace_back(id, std::move(callback));
+  return id;
+}
+
+void ApiServer::unwatch(WatchId id) {
+  std::erase_if(watches_,
+                [id](const auto& entry) { return entry.first == id; });
+}
+
+void ApiServer::notify_watchers(const cluster::PodName& pod,
+                                cluster::PodPhase phase) {
+  // Copy: a callback may add watches (but must not unwatch re-entrantly).
+  const auto snapshot = watches_;
+  for (const auto& [id, callback] : snapshot) {
+    callback(PodUpdate{pod, phase});
+  }
+}
+
+PodRecord& ApiServer::mutable_pod(const cluster::PodName& name) {
+  const auto it = pods_.find(name);
+  SGXO_CHECK_MSG(it != pods_.end(), "unknown pod " + name);
+  return it->second;
+}
+
+void ApiServer::record_event(const cluster::PodName& pod,
+                             std::string message) {
+  events_.push_back(Event{sim_->now(), pod, std::move(message)});
+}
+
+void ApiServer::on_pod_running(const cluster::PodName& pod) {
+  PodRecord& record = mutable_pod(pod);
+  SGXO_CHECK_MSG(record.phase == cluster::PodPhase::kBound,
+                 "pod running without being bound");
+  record.phase = cluster::PodPhase::kRunning;
+  // Keep the first start across evictions: waiting time is the paper's
+  // submission → first-actually-running interval.
+  if (!record.started.has_value()) {
+    record.started = sim_->now();
+  }
+  record_event(pod, "Running");
+  notify_watchers(pod, cluster::PodPhase::kRunning);
+}
+
+void ApiServer::on_pod_succeeded(const cluster::PodName& pod) {
+  PodRecord& record = mutable_pod(pod);
+  SGXO_CHECK_MSG(record.phase == cluster::PodPhase::kRunning,
+                 "pod succeeded without running");
+  record.phase = cluster::PodPhase::kSucceeded;
+  record.finished = sim_->now();
+  record_event(pod, "Succeeded");
+  notify_watchers(pod, cluster::PodPhase::kSucceeded);
+}
+
+void ApiServer::on_pod_failed(const cluster::PodName& pod,
+                              const std::string& reason) {
+  PodRecord& record = mutable_pod(pod);
+  record.phase = cluster::PodPhase::kFailed;
+  record.finished = sim_->now();
+  record.failure_reason = reason;
+  record_event(pod, "Failed: " + reason);
+  notify_watchers(pod, cluster::PodPhase::kFailed);
+}
+
+}  // namespace sgxo::orch

@@ -1,0 +1,184 @@
+// The Kubernetes master / API server (paper Fig. 2).
+//
+// Holds the cluster's node registry and the pod store with phase history,
+// maintains the persistent FCFS queue of pending jobs (§IV step 3), and
+// relays bindings to the target node's Kubelet. Phase-transition
+// timestamps recorded here are the raw material of every evaluation metric
+// (waiting time = submission → running; turnaround = submission → finish).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/kubelet.hpp"
+#include "cluster/node.hpp"
+#include "cluster/pod.hpp"
+#include "common/time.hpp"
+#include "sim/simulation.hpp"
+
+namespace sgxo::orch {
+
+struct PodRecord {
+  cluster::PodSpec spec;
+  cluster::PodPhase phase = cluster::PodPhase::kPending;
+  TimePoint submitted;
+  std::optional<TimePoint> bound;
+  /// First time the pod ran (kept across evictions: waiting time measures
+  /// submission → first start).
+  std::optional<TimePoint> started;
+  std::optional<TimePoint> finished;
+  cluster::NodeName node;  // empty until bound
+  std::string failure_reason;
+  /// Times this pod was preempted and returned to the pending queue.
+  std::uint32_t evictions = 0;
+
+  /// Submission → actually running on a node (Fig. 8/9/11 metric).
+  [[nodiscard]] std::optional<Duration> waiting_time() const;
+  /// Submission → termination (Fig. 10 metric).
+  [[nodiscard]] std::optional<Duration> turnaround_time() const;
+};
+
+/// Cluster event log entry (mirrors `kubectl get events`).
+struct Event {
+  TimePoint time;
+  cluster::PodName pod;
+  std::string message;
+};
+
+/// Pod submission rejected by namespace quota admission.
+class QuotaExceeded : public DomainError {
+ public:
+  using DomainError::DomainError;
+};
+
+/// Per-namespace resource budget. Zero-valued members mean "unlimited"
+/// for that resource.
+struct ResourceQuota {
+  Bytes memory{};
+  Pages epc_pages{};
+};
+
+class ApiServer final : public cluster::PodLifecycleListener {
+ public:
+  explicit ApiServer(sim::Simulation& sim);
+
+  // ---- node registry ------------------------------------------------------
+  /// Registers a node and its Kubelet. Master nodes are registered but
+  /// never returned by schedulable_nodes().
+  void register_node(cluster::Node& node, cluster::Kubelet& kubelet);
+
+  struct NodeEntry {
+    cluster::Node* node = nullptr;
+    cluster::Kubelet* kubelet = nullptr;
+  };
+  [[nodiscard]] std::vector<NodeEntry> schedulable_nodes() const;
+  [[nodiscard]] std::vector<NodeEntry> all_nodes() const;
+  [[nodiscard]] const NodeEntry* find_node(const cluster::NodeName& name) const;
+
+  // ---- admission control ---------------------------------------------------
+  /// Installs (or replaces) the quota of a namespace. Pods already
+  /// admitted are unaffected; future submissions must fit.
+  void set_quota(const std::string& namespace_name, ResourceQuota quota);
+  [[nodiscard]] std::optional<ResourceQuota> quota(
+      const std::string& namespace_name) const;
+  /// Requests of all non-terminal pods of a namespace (what counts
+  /// against its quota).
+  [[nodiscard]] cluster::ResourceAmounts namespace_usage(
+      const std::string& namespace_name) const;
+
+  // ---- pod lifecycle -------------------------------------------------------
+  /// Submits a pod; it enters the pending queue. Throws QuotaExceeded if
+  /// the pod's namespace has a quota the submission would violate.
+  void submit(cluster::PodSpec spec);
+
+  /// The cluster-wide default scheduler name, used by pods that do not
+  /// name one explicitly (§V-B: in production exactly one SGX-aware
+  /// variant runs as the default).
+  void set_default_scheduler(std::string name) {
+    default_scheduler_ = std::move(name);
+  }
+  [[nodiscard]] const std::string& default_scheduler() const {
+    return default_scheduler_;
+  }
+
+  /// Pending pods owned by `scheduler_name`: highest priority first,
+  /// FCFS (oldest submission) within equal priority — the Kubernetes
+  /// scheduling-queue order. With the default priority 0 everywhere this
+  /// is plain FCFS, as in the paper.
+  [[nodiscard]] std::vector<cluster::PodName> pending_pods(
+      const std::string& scheduler_name) const;
+
+  /// Binds a pending pod to a node and hands it to that node's Kubelet.
+  void bind(const cluster::PodName& pod, const cluster::NodeName& node);
+
+  /// Live-migrates a *running* SGX pod to another schedulable SGX node
+  /// (enclave checkpoint/restore, §VIII): extracts the bundle from the
+  /// source Kubelet, records the reassignment, and hands the bundle to the
+  /// target Kubelet with the checkpoint + wire-transfer delay applied.
+  void migrate(const cluster::PodName& pod, const cluster::NodeName& target,
+               sgx::MigrationService& service);
+
+  /// Pods currently assigned to (bound or running on) `node`.
+  [[nodiscard]] std::vector<cluster::PodName> assigned_pods(
+      const cluster::NodeName& node) const;
+
+  /// Preempts a bound/running pod: tears it down on its node and returns
+  /// it to the pending queue (its first-start timestamp is retained for
+  /// waiting-time accounting; the lost work is rerun from scratch).
+  void evict(const cluster::PodName& pod, const std::string& reason);
+
+  /// Fails a node: it becomes unschedulable and every pod on it dies with
+  /// reason "NodeFailure" (failure-injection surface).
+  void fail_node(const cluster::NodeName& node);
+  /// Brings a failed node back.
+  void recover_node(const cluster::NodeName& node);
+
+  [[nodiscard]] const PodRecord& pod(const cluster::PodName& name) const;
+  [[nodiscard]] bool has_pod(const cluster::PodName& name) const;
+  [[nodiscard]] std::vector<const PodRecord*> all_pods() const;
+  [[nodiscard]] std::size_t pod_count() const { return pods_.size(); }
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  // ---- watches (informer-style) --------------------------------------------
+  /// Phase-transition notification, fired synchronously after the record
+  /// updated. Callbacks must not unwatch themselves re-entrantly.
+  struct PodUpdate {
+    cluster::PodName pod;
+    cluster::PodPhase phase;
+  };
+  using WatchCallback = std::function<void(const PodUpdate&)>;
+  using WatchId = std::uint64_t;
+
+  /// Subscribes to every pod phase transition (including submission →
+  /// Pending). Returns a handle for unwatch().
+  WatchId watch_pods(WatchCallback callback);
+  void unwatch(WatchId id);
+  [[nodiscard]] std::size_t watch_count() const { return watches_.size(); }
+
+  // ---- PodLifecycleListener (called by Kubelets) ---------------------------
+  void on_pod_running(const cluster::PodName& pod) override;
+  void on_pod_succeeded(const cluster::PodName& pod) override;
+  void on_pod_failed(const cluster::PodName& pod,
+                     const std::string& reason) override;
+
+ private:
+  PodRecord& mutable_pod(const cluster::PodName& name);
+  void record_event(const cluster::PodName& pod, std::string message);
+  void notify_watchers(const cluster::PodName& pod,
+                       cluster::PodPhase phase);
+
+  sim::Simulation* sim_;
+  std::string default_scheduler_ = "default-scheduler";
+  std::map<std::string, ResourceQuota> quotas_;
+  std::vector<NodeEntry> nodes_;
+  std::map<cluster::PodName, PodRecord> pods_;
+  std::vector<cluster::PodName> submission_order_;
+  std::vector<Event> events_;
+  std::vector<std::pair<WatchId, WatchCallback>> watches_;
+  WatchId next_watch_ = 1;
+};
+
+}  // namespace sgxo::orch

@@ -1,0 +1,51 @@
+#include "orch/daemonset.hpp"
+
+namespace sgxo::orch {
+
+ProbeDaemonSet::ProbeDaemonSet(sim::Simulation& sim, ApiServer& api,
+                               tsdb::Database& db, Duration probe_period,
+                               Duration reconcile_period)
+    : sim_(&sim),
+      api_(&api),
+      db_(&db),
+      probe_period_(probe_period),
+      reconcile_period_(reconcile_period) {}
+
+void ProbeDaemonSet::start() {
+  reconcile();
+  if (!timer_.valid()) {
+    timer_ = sim_->schedule_every(reconcile_period_, reconcile_period_,
+                                  [this] { reconcile(); });
+  }
+}
+
+void ProbeDaemonSet::stop() {
+  if (timer_.valid()) {
+    sim_->cancel(timer_);
+    timer_ = sim::EventId{};
+  }
+  for (auto& [name, probe] : probes_) {
+    probe->stop();
+  }
+}
+
+void ProbeDaemonSet::reconcile() {
+  for (const ApiServer::NodeEntry& entry : api_->all_nodes()) {
+    // SGX nodes are recognised by the EPC amount the device plugin
+    // advertises — zero pages means no SGX (or plugin not running).
+    if (entry.node->epc_capacity().count() == 0) continue;
+    if (has_probe(entry.node->name())) continue;
+    auto probe = std::make_unique<SgxProbe>(*sim_, entry, *db_, probe_period_);
+    probe->start();
+    probes_.emplace(entry.node->name(), std::move(probe));
+  }
+}
+
+void ProbeDaemonSet::crash_probe(const cluster::NodeName& node) {
+  const auto it = probes_.find(node);
+  if (it == probes_.end()) return;
+  it->second->stop();
+  probes_.erase(it);
+}
+
+}  // namespace sgxo::orch

@@ -1,0 +1,41 @@
+#include "orch/heapster.hpp"
+
+namespace sgxo::orch {
+
+Heapster::Heapster(sim::Simulation& sim, ApiServer& api, tsdb::Database& db,
+                   Duration scrape_period, Duration retention)
+    : sim_(&sim),
+      api_(&api),
+      db_(&db),
+      period_(scrape_period),
+      retention_(retention) {}
+
+void Heapster::start() {
+  if (timer_.valid()) return;
+  timer_ = sim_->schedule_every(period_, period_, [this] { scrape_once(); });
+}
+
+void Heapster::stop() {
+  if (timer_.valid()) {
+    sim_->cancel(timer_);
+    timer_ = sim::EventId{};
+  }
+}
+
+void Heapster::scrape_once() {
+  ++scrapes_;
+  const TimePoint now = sim_->now();
+  for (const ApiServer::NodeEntry& entry : api_->all_nodes()) {
+    for (const cluster::Kubelet::PodStats& stats :
+         entry.kubelet->pod_stats()) {
+      tsdb::Tags tags{{"pod_name", stats.pod},
+                      {"nodename", entry.node->name()},
+                      {"type", "pod"}};
+      db_->write(kMemoryMeasurement, tags, now,
+                 static_cast<double>(stats.memory_usage.count()));
+    }
+  }
+  db_->enforce_retention(now, retention_);
+}
+
+}  // namespace sgxo::orch

@@ -1,0 +1,83 @@
+#include "orch/pod_restarter.hpp"
+
+namespace sgxo::orch {
+
+PodRestarter::PodRestarter(sim::Simulation& sim, ApiServer& api,
+                           Duration period, Mode mode)
+    : sim_(&sim), api_(&api), period_(period), mode_(mode) {
+  SGXO_CHECK(period_ > Duration{});
+}
+
+PodRestarter::~PodRestarter() { stop(); }
+
+void PodRestarter::start() {
+  if (mode_ == Mode::kPoll) {
+    if (timer_.valid()) return;
+    timer_ = sim_->schedule_every(period_, period_, [this] { run_once(); });
+    return;
+  }
+  if (watch_ != 0) return;
+  watch_ = api_->watch_pods([this](const ApiServer::PodUpdate& update) {
+    if (update.phase != cluster::PodPhase::kFailed) return;
+    const cluster::PodName pod = update.pod;
+    // Defer the resubmission by one simulation event: the failure may
+    // arrive from deep inside a Kubelet teardown path.
+    sim_->schedule_after(Duration{}, [this, pod] {
+      if (!api_->has_pod(pod)) return;
+      const PodRecord& record = api_->pod(pod);
+      if (restartable(record) &&
+          handled_.find(pod) == handled_.end()) {
+        restart(record);
+      }
+    });
+  });
+}
+
+void PodRestarter::stop() {
+  if (timer_.valid()) {
+    sim_->cancel(timer_);
+    timer_ = sim::EventId{};
+  }
+  if (watch_ != 0) {
+    api_->unwatch(watch_);
+    watch_ = 0;
+  }
+}
+
+bool PodRestarter::restartable(const PodRecord& record) {
+  return record.phase == cluster::PodPhase::kFailed &&
+         record.failure_reason == "NodeFailure";
+}
+
+void PodRestarter::restart(const PodRecord& record) {
+  cluster::PodSpec retry = record.spec;
+  retry.name = record.spec.name + "-retry";
+  // The retry must not chase the dead node.
+  retry.node_selector.clear();
+  handled_.emplace(record.spec.name, retry.name);
+  api_->submit(std::move(retry));
+  ++restarts_;
+}
+
+std::size_t PodRestarter::run_once() {
+  std::size_t resubmitted = 0;
+  // Collect first: submitting while iterating would invalidate all_pods().
+  std::vector<const PodRecord*> to_restart;
+  for (const PodRecord* record : api_->all_pods()) {
+    if (!restartable(*record)) continue;
+    if (handled_.find(record->spec.name) != handled_.end()) continue;
+    to_restart.push_back(record);
+  }
+  for (const PodRecord* record : to_restart) {
+    restart(*record);
+    ++resubmitted;
+  }
+  return resubmitted;
+}
+
+std::string PodRestarter::retry_of(const cluster::PodName& pod) const {
+  const auto it = handled_.find(pod);
+  return it == handled_.end() ? "" : it->second;
+}
+
+}  // namespace sgxo::orch

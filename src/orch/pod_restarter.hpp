@@ -1,0 +1,58 @@
+// Pod restart controller — a minimal ReplicaSet-style reconciler: pods
+// that died for infrastructure reasons (node failure) are resubmitted as
+// fresh pods so the workload survives machine loss. Jobs killed by
+// *policy* (EPC limit enforcement) are deliberately NOT restarted: the
+// driver killed them for lying about their resources.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "orch/api_server.hpp"
+#include "sim/simulation.hpp"
+
+namespace sgxo::orch {
+
+class PodRestarter {
+ public:
+  /// How the controller learns about failures: periodic reconciliation
+  /// (robust, Kubernetes-controller style) or an informer watch on the
+  /// API server (reacts within one simulation event).
+  enum class Mode { kPoll, kWatch };
+
+  PodRestarter(sim::Simulation& sim, ApiServer& api,
+               Duration period = Duration::seconds(10),
+               Mode mode = Mode::kPoll);
+  ~PodRestarter();
+
+  PodRestarter(const PodRestarter&) = delete;
+  PodRestarter& operator=(const PodRestarter&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] Mode mode() const { return mode_; }
+
+  /// One reconciliation pass; returns the number of pods resubmitted.
+  std::size_t run_once();
+
+  [[nodiscard]] std::uint64_t restarts() const { return restarts_; }
+  /// The retry pod name a failed pod was resubmitted as ("" if none).
+  [[nodiscard]] std::string retry_of(const cluster::PodName& pod) const;
+
+ private:
+  [[nodiscard]] static bool restartable(const PodRecord& record);
+  /// Resubmits one failed pod (shared by both modes).
+  void restart(const PodRecord& record);
+
+  sim::Simulation* sim_;
+  ApiServer* api_;
+  Duration period_;
+  Mode mode_;
+  sim::EventId timer_;
+  ApiServer::WatchId watch_ = 0;
+  std::map<cluster::PodName, std::string> handled_;  // original → retry name
+  std::uint64_t restarts_ = 0;
+};
+
+}  // namespace sgxo::orch

@@ -1,0 +1,105 @@
+#include "orch/scheduler_framework.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sgxo::orch {
+
+bool fits(const cluster::PodSpec& pod, const NodeView& view) {
+  const cluster::ResourceAmounts request = pod.total_requests();
+  // nodeSelector pins the pod to one node.
+  if (!pod.node_selector.empty() && pod.node_selector != view.name) {
+    return false;
+  }
+  // Hardware compatibility: SGX-enabled jobs need an SGX node.
+  if (pod.wants_sgx() && !view.sgx_capable) return false;
+  // Standard memory saturation.
+  if (view.memory_used + request.memory > view.memory_capacity) return false;
+  // EPC saturation — over-commitment is deliberately prevented (§V-A):
+  // the usage estimate must fit, and so must the device-plugin request
+  // accounting (pages are finite device items).
+  if (pod.wants_sgx()) {
+    if (view.epc_used + request.epc_pages > view.epc_capacity) return false;
+    if (view.epc_requested + request.epc_pages > view.epc_capacity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Scheduler::Scheduler(sim::Simulation& sim, ApiServer& api, std::string name,
+                     Duration period)
+    : sim_(&sim), api_(&api), name_(std::move(name)), period_(period) {
+  SGXO_CHECK_MSG(!name_.empty(), "scheduler needs a name");
+  SGXO_CHECK_MSG(period_ > Duration{}, "scheduling period must be positive");
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+void Scheduler::start() {
+  if (timer_.valid()) return;
+  timer_ = sim_->schedule_every(period_, period_, [this] { run_once(); });
+}
+
+void Scheduler::stop() {
+  if (timer_.valid()) {
+    sim_->cancel(timer_);
+    timer_ = sim::EventId{};
+  }
+}
+
+std::size_t Scheduler::run_once() {
+  ++cycles_;
+  std::vector<NodeView> views = collect_views();
+  std::size_t bound_this_cycle = 0;
+  bool unschedulable_reported = false;
+
+  // FCFS: older pods get first pick of this cycle's resources; pods that
+  // fit nowhere right now stay pending without blocking younger ones
+  // (Kubernetes semantics).
+  for (const cluster::PodName& pod_name : api_->pending_pods(name_)) {
+    const cluster::PodSpec& spec = api_->pod(pod_name).spec;
+
+    std::vector<NodeView> feasible;
+    feasible.reserve(views.size());
+    std::copy_if(views.begin(), views.end(), std::back_inserter(feasible),
+                 [&](const NodeView& view) { return fits(spec, view); });
+    if (feasible.empty()) {
+      if (!unschedulable_reported) {
+        unschedulable_reported = true;
+        on_unschedulable(spec, views);
+      }
+      if (strict_fcfs_) break;
+      continue;
+    }
+
+    const std::optional<cluster::NodeName> chosen =
+        select_node(spec, feasible, views);
+    if (!chosen.has_value()) {
+      if (strict_fcfs_) break;
+      continue;
+    }
+
+    api_->bind(pod_name, *chosen);
+    ++bound_this_cycle;
+
+    // Account this binding in the cycle-local view so later pods in the
+    // same cycle see the reservation (metrics will only catch up at the
+    // next probe interval).
+    const auto view_it =
+        std::find_if(views.begin(), views.end(), [&](const NodeView& v) {
+          return v.name == *chosen;
+        });
+    SGXO_CHECK(view_it != views.end());
+    const cluster::ResourceAmounts request = spec.total_requests();
+    view_it->memory_used += request.memory;
+    view_it->epc_used += request.epc_pages;
+    view_it->epc_requested += request.epc_pages;
+  }
+
+  bound_ += bound_this_cycle;
+  return bound_this_cycle;
+}
+
+}  // namespace sgxo::orch

@@ -1,0 +1,125 @@
+// Scheduler framework shared by the SGX-aware scheduler and the Kubernetes
+// default baseline.
+//
+// A scheduler is a periodic, non-preemptive loop (§IV): fetch its pending
+// pods FCFS, build a resource view of every schedulable node, filter
+// infeasible job-node combinations (hardware compatibility, saturation),
+// let the concrete placement policy pick a node, and bind. Pods that fit
+// nowhere stay in the persistent pending queue for the next cycle.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/pod.hpp"
+#include "cluster/resources.hpp"
+#include "orch/api_server.hpp"
+#include "sim/simulation.hpp"
+
+namespace sgxo::orch {
+
+/// A scheduler's view of one node during a scheduling cycle: capacities
+/// plus the usage estimate the concrete scheduler computed (measured,
+/// request-based, or a combination).
+struct NodeView {
+  cluster::NodeName name;
+  bool sgx_capable = false;
+  Bytes memory_capacity{};
+  Pages epc_capacity{};
+  /// Usage estimate for placement decisions (semantics defined by the
+  /// concrete scheduler building the view).
+  Bytes memory_used{};
+  Pages epc_used{};
+  /// Sum of EPC *requests* of pods assigned to the node — the device
+  /// plugin's hard allocation constraint, independent of measurements.
+  Pages epc_requested{};
+
+  [[nodiscard]] Bytes memory_free() const {
+    return memory_used >= memory_capacity ? Bytes{0}
+                                          : memory_capacity - memory_used;
+  }
+  [[nodiscard]] double memory_load() const {
+    return memory_capacity.count() == 0
+               ? 0.0
+               : static_cast<double>(memory_used.count()) /
+                     static_cast<double>(memory_capacity.count());
+  }
+  [[nodiscard]] double epc_load() const {
+    return epc_capacity.count() == 0
+               ? 0.0
+               : static_cast<double>(epc_used.count()) /
+                     static_cast<double>(epc_capacity.count());
+  }
+};
+
+/// True iff placing `pod` on `view` satisfies hardware compatibility and
+/// saturation constraints (never over-commits the EPC: both the measured
+/// usage and the device-plugin request accounting must fit).
+[[nodiscard]] bool fits(const cluster::PodSpec& pod, const NodeView& view);
+
+class Scheduler {
+ public:
+  Scheduler(sim::Simulation& sim, ApiServer& api, std::string name,
+            Duration period = Duration::seconds(5));
+  virtual ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Duration period() const { return period_; }
+
+  /// Starts the periodic scheduling loop (idempotent).
+  void start();
+  void stop();
+
+  /// Strict FCFS blocks the whole queue behind the oldest unschedulable
+  /// pod (classic batch semantics); the default skips it and lets younger
+  /// pods use leftover resources (Kubernetes semantics). Exposed as a
+  /// design-choice ablation.
+  void set_strict_fcfs(bool strict) { strict_fcfs_ = strict; }
+  [[nodiscard]] bool strict_fcfs() const { return strict_fcfs_; }
+
+  /// One scheduling cycle; returns the number of pods bound.
+  std::size_t run_once();
+
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+  [[nodiscard]] std::uint64_t total_bound() const { return bound_; }
+
+ protected:
+  /// Builds this cycle's per-node views (capacities + usage estimates).
+  [[nodiscard]] virtual std::vector<NodeView> collect_views() = 0;
+
+  /// Picks a node for `pod` among `feasible` (all already pass fits()).
+  /// `all` carries this cycle's view of every schedulable node — policies
+  /// like spread need the cluster-wide load vector, not just the feasible
+  /// subset. nullopt leaves the pod pending.
+  [[nodiscard]] virtual std::optional<cluster::NodeName> select_node(
+      const cluster::PodSpec& pod, const std::vector<NodeView>& feasible,
+      const std::vector<NodeView>& all) = 0;
+
+  /// Called at most once per cycle, for the highest-priority pod that fit
+  /// nowhere. Implementations may free resources for the *next* cycle
+  /// (e.g. preempt lower-priority pods). Default: nothing.
+  virtual void on_unschedulable(const cluster::PodSpec& pod,
+                                const std::vector<NodeView>& all) {
+    (void)pod;
+    (void)all;
+  }
+
+  [[nodiscard]] ApiServer& api() { return *api_; }
+  [[nodiscard]] sim::Simulation& sim() { return *sim_; }
+
+ private:
+  sim::Simulation* sim_;
+  ApiServer* api_;
+  std::string name_;
+  Duration period_;
+  sim::EventId timer_;
+  bool strict_fcfs_ = false;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t bound_ = 0;
+};
+
+}  // namespace sgxo::orch

@@ -1,0 +1,44 @@
+// SGX metrics probe (paper §V-C): runs on every SGX-enabled node (deployed
+// through a DaemonSet), reads per-process EPC usage from the modified
+// driver's ioctl, aggregates per pod, and pushes the samples into the same
+// InfluxDB-style database as Heapster — measurement "sgx/epc", tags
+// pod_name and nodename, value in bytes.
+#pragma once
+
+#include "orch/api_server.hpp"
+#include "sim/simulation.hpp"
+#include "tsdb/model.hpp"
+
+namespace sgxo::orch {
+
+class SgxProbe {
+ public:
+  static constexpr const char* kEpcMeasurement = "sgx/epc";
+
+  /// `entry` must reference an SGX-capable node.
+  SgxProbe(sim::Simulation& sim, ApiServer::NodeEntry entry,
+           tsdb::Database& db, Duration period = Duration::seconds(10));
+
+  SgxProbe(const SgxProbe&) = delete;
+  SgxProbe& operator=(const SgxProbe&) = delete;
+  ~SgxProbe();
+
+  void start();
+  void stop();
+  void probe_once();
+
+  [[nodiscard]] const cluster::NodeName& node_name() const {
+    return entry_.node->name();
+  }
+  [[nodiscard]] std::uint64_t probe_count() const { return probes_; }
+
+ private:
+  sim::Simulation* sim_;
+  ApiServer::NodeEntry entry_;
+  tsdb::Database* db_;
+  Duration period_;
+  sim::EventId timer_;
+  std::uint64_t probes_ = 0;
+};
+
+}  // namespace sgxo::orch

@@ -1,0 +1,173 @@
+#include "sgx/attestation.hpp"
+
+#include <algorithm>
+
+namespace sgxo::sgx {
+
+namespace {
+
+/// Keystream "cipher": XOR with a SipHash-generated stream. A stand-in
+/// for AES-GCM with the same interface properties (wrong key ⇒ garbage,
+/// MAC catches it).
+void apply_keystream(HashKey key, std::vector<std::uint8_t>& data) {
+  for (std::size_t i = 0; i < data.size(); i += 8) {
+    const std::uint64_t block = siphash24(key, to_hex(i / 8));
+    for (std::size_t j = 0; j < 8 && i + j < data.size(); ++j) {
+      data[i + j] ^= static_cast<std::uint8_t>(block >> (8 * j));
+    }
+  }
+}
+
+std::uint64_t mac_blob(HashKey key, const SealedBlob& blob) {
+  std::string transcript = to_hex(blob.measurement.value) + '|' +
+                           to_hex(blob.platform_id) + '|';
+  transcript.reserve(transcript.size() + blob.ciphertext.size());
+  for (const std::uint8_t byte : blob.ciphertext) {
+    transcript += static_cast<char>(byte);
+  }
+  return siphash24(key, transcript);
+}
+
+}  // namespace
+
+Measurement measure_enclave(std::string_view code_identity) {
+  return Measurement{fnv1a(code_identity)};
+}
+
+Platform Platform::for_node(std::string_view node_name) {
+  const std::uint64_t id = fnv1a(node_name);
+  // The "fused" root key of the simulated CPU: derived deterministically
+  // so experiments reproduce, unknown to any other platform object.
+  const HashKey root{fnv1a(std::string("root0|") + std::string(node_name)),
+                     fnv1a(std::string("root1|") + std::string(node_name))};
+  return Platform{id, root};
+}
+
+HashKey Platform::seal_key(Measurement mrenclave) const {
+  return derive_key(root_, "seal|" + to_hex(mrenclave.value));
+}
+
+HashKey Platform::provisioning_key() const {
+  return derive_key(root_, "provision");
+}
+
+std::uint64_t LaunchEnclave::mac_for(Measurement measurement) const {
+  return siphash24(derive_key(platform_->provisioning_key(), "launch"),
+                   to_hex(measurement.value));
+}
+
+LaunchEnclave::LaunchToken LaunchEnclave::issue(
+    Measurement measurement) const {
+  if (revoked(measurement)) {
+    throw AttestationError{"launch token refused: measurement " +
+                           to_hex(measurement.value) + " is revoked"};
+  }
+  return LaunchToken{measurement, platform_->id(), mac_for(measurement)};
+}
+
+bool LaunchEnclave::validate(const LaunchToken& token) const {
+  return token.platform_id == platform_->id() &&
+         !revoked(token.measurement) &&
+         token.mac == mac_for(token.measurement);
+}
+
+void LaunchEnclave::revoke(Measurement measurement) {
+  revoked_.insert(measurement.value);
+}
+
+bool LaunchEnclave::revoked(Measurement measurement) const {
+  return revoked_.find(measurement.value) != revoked_.end();
+}
+
+Quote QuotingEnclave::quote(Measurement measurement,
+                            std::uint64_t report_data) const {
+  Quote q;
+  q.measurement = measurement;
+  q.platform_id = platform_->id();
+  q.report_data = report_data;
+  q.signature = siphash24(platform_->provisioning_key(),
+                          to_hex(measurement.value) + '|' +
+                              to_hex(q.platform_id) + '|' +
+                              to_hex(report_data));
+  return q;
+}
+
+void AttestationService::provision(const Platform& platform) {
+  if (provisioned(platform.id())) return;
+  platforms_.emplace_back(platform.id(), platform.provisioning_key());
+}
+
+bool AttestationService::provisioned(std::uint64_t platform_id) const {
+  return std::any_of(platforms_.begin(), platforms_.end(),
+                     [&](const auto& entry) {
+                       return entry.first == platform_id;
+                     });
+}
+
+bool AttestationService::verify(const Quote& quote) const {
+  const auto it = std::find_if(
+      platforms_.begin(), platforms_.end(),
+      [&](const auto& entry) { return entry.first == quote.platform_id; });
+  if (it == platforms_.end()) return false;
+  const std::uint64_t expected =
+      siphash24(it->second, to_hex(quote.measurement.value) + '|' +
+                                to_hex(quote.platform_id) + '|' +
+                                to_hex(quote.report_data));
+  return expected == quote.signature;
+}
+
+HashKey AttestationService::establish_shared_key(const Quote& a,
+                                                 const Quote& b) const {
+  if (!verify(a) || !verify(b)) {
+    throw AttestationError{
+        "mutual attestation failed: a quote did not verify"};
+  }
+  // Both report-data values fold into the shared secret, order-independent
+  // (model of a key exchange whose public values ride in the quotes).
+  const std::uint64_t lo = std::min(a.report_data, b.report_data);
+  const std::uint64_t hi = std::max(a.report_data, b.report_data);
+  return HashKey{fnv1a("shared0|" + to_hex(lo) + to_hex(hi)),
+                 fnv1a("shared1|" + to_hex(lo) + to_hex(hi))};
+}
+
+SealedBlob seal(const Platform& platform, Measurement measurement,
+                std::span<const std::uint8_t> data) {
+  SealedBlob blob;
+  blob.measurement = measurement;
+  blob.platform_id = platform.id();
+  blob.ciphertext.assign(data.begin(), data.end());
+  const HashKey key = platform.seal_key(measurement);
+  apply_keystream(key, blob.ciphertext);
+  blob.mac = mac_blob(key, blob);
+  return blob;
+}
+
+SealedBlob seal(const Platform& platform, Measurement measurement,
+                std::string_view data) {
+  return seal(platform, measurement,
+              std::span<const std::uint8_t>(
+                  reinterpret_cast<const std::uint8_t*>(data.data()),
+                  data.size()));
+}
+
+std::vector<std::uint8_t> unseal(const Platform& platform,
+                                 Measurement measurement,
+                                 const SealedBlob& blob) {
+  if (blob.platform_id != platform.id()) {
+    throw AttestationError{
+        "unseal refused: blob was sealed on a different platform"};
+  }
+  if (blob.measurement != measurement) {
+    throw AttestationError{
+        "unseal refused: blob belongs to a different enclave measurement"};
+  }
+  const HashKey key = platform.seal_key(measurement);
+  if (mac_blob(key, blob) != blob.mac) {
+    throw AttestationError{"unseal refused: blob failed integrity check"};
+  }
+  std::vector<std::uint8_t> plaintext = blob.ciphertext;
+  apply_keystream(key, plaintext);
+  return plaintext;
+}
+
+}  // namespace sgxo::sgx

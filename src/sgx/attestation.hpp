@@ -1,0 +1,160 @@
+// The SGX attestation machinery of paper §II: launch tokens from the
+// Launch Enclave, quotes from the Quoting Enclave, platform provisioning
+// (Provisioning Enclave + an Intel-Attestation-Service stand-in), and
+// sealing of persistent data —
+//
+//   "A custom remote attestation protocol allows to verify that a
+//    particular version of a specific enclave runs on a remote machine,
+//    using a genuine Intel processor with SGX enabled. … Data stored in
+//    enclaves can be saved to persistent storage, protected by a seal
+//    key."
+//
+// The cryptographic primitives are modelled (SipHash-based MACs and
+// keystreams, see common/hash.hpp); the *protocol logic* — who can derive
+// which key, what verifies against what, and which forgeries fail — is
+// the faithful part.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace sgxo::sgx {
+
+class AttestationError : public DomainError {
+ public:
+  using DomainError::DomainError;
+};
+
+/// MRENCLAVE: the measurement of an enclave's initial code + data.
+struct Measurement {
+  std::uint64_t value = 0;
+  constexpr auto operator<=>(const Measurement&) const = default;
+};
+
+/// Measures an enclave binary (its signed shared object, §II: shipped
+/// in plaintext and inspectable — the measurement is what's trusted).
+[[nodiscard]] Measurement measure_enclave(std::string_view code_identity);
+
+/// One genuine SGX platform: a CPU package with its fused root key. Only
+/// code running *on* the platform can derive its keys (EGETKEY).
+class Platform {
+ public:
+  Platform(std::uint64_t id, HashKey root_key) : id_(id), root_(root_key) {}
+
+  /// Deterministic platform for simulations, derived from a name.
+  [[nodiscard]] static Platform for_node(std::string_view node_name);
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  /// Seal key: bound to this platform *and* the enclave's measurement —
+  /// sealed data cannot be unsealed elsewhere or by different code.
+  [[nodiscard]] HashKey seal_key(Measurement mrenclave) const;
+  /// Key the Quoting Enclave signs quotes with (EPID stand-in); the
+  /// attestation service learns it at provisioning.
+  [[nodiscard]] HashKey provisioning_key() const;
+
+ private:
+  std::uint64_t id_;
+  HashKey root_;
+};
+
+/// Launch Enclave (LE): gates enclave initialisation by issuing launch
+/// tokens; revoked measurements are refused.
+class LaunchEnclave {
+ public:
+  explicit LaunchEnclave(const Platform& platform) : platform_(&platform) {}
+
+  struct LaunchToken {
+    Measurement measurement;
+    std::uint64_t platform_id = 0;
+    std::uint64_t mac = 0;
+  };
+
+  /// Issues a token for `measurement`; throws AttestationError if revoked.
+  [[nodiscard]] LaunchToken issue(Measurement measurement) const;
+  /// EINIT-side check: the token must be this platform's and unforged.
+  [[nodiscard]] bool validate(const LaunchToken& token) const;
+
+  void revoke(Measurement measurement);
+  [[nodiscard]] bool revoked(Measurement measurement) const;
+
+ private:
+  [[nodiscard]] std::uint64_t mac_for(Measurement measurement) const;
+
+  const Platform* platform_;
+  std::set<std::uint64_t> revoked_;
+};
+
+/// A remotely verifiable statement: "enclave `measurement` runs on
+/// platform `platform_id` and vouches for `report_data`".
+struct Quote {
+  Measurement measurement;
+  std::uint64_t platform_id = 0;
+  /// Caller-chosen binding (e.g. a key-exchange public value).
+  std::uint64_t report_data = 0;
+  std::uint64_t signature = 0;
+};
+
+/// Quoting Enclave (QE): signs local reports into quotes.
+class QuotingEnclave {
+ public:
+  explicit QuotingEnclave(const Platform& platform) : platform_(&platform) {}
+
+  [[nodiscard]] Quote quote(Measurement measurement,
+                            std::uint64_t report_data) const;
+
+ private:
+  const Platform* platform_;
+};
+
+/// Intel Attestation Service stand-in: learns each genuine platform's
+/// provisioning key when the Provisioning Enclave enrols it, then
+/// verifies quotes from anywhere.
+class AttestationService {
+ public:
+  /// Provisioning (PE ↔ Intel): enrols a genuine platform.
+  void provision(const Platform& platform);
+  [[nodiscard]] bool provisioned(std::uint64_t platform_id) const;
+
+  /// True iff the quote was signed by an enrolled platform and untampered.
+  [[nodiscard]] bool verify(const Quote& quote) const;
+
+  /// Mutual attestation: verifies both quotes and, on success, returns
+  /// the shared secret both sides derive from the exchanged report data —
+  /// the way the migration key of Gu et al. is established.
+  [[nodiscard]] HashKey establish_shared_key(const Quote& a,
+                                             const Quote& b) const;
+
+ private:
+  std::vector<std::pair<std::uint64_t, HashKey>> platforms_;
+};
+
+/// Data sealed by an enclave for persistent storage (paper §II: sealing
+/// waives the need to re-attest after restarts).
+struct SealedBlob {
+  Measurement measurement;
+  std::uint64_t platform_id = 0;
+  std::vector<std::uint8_t> ciphertext;
+  std::uint64_t mac = 0;
+};
+
+/// Seals `data` for `measurement` on `platform`.
+[[nodiscard]] SealedBlob seal(const Platform& platform,
+                              Measurement measurement,
+                              std::span<const std::uint8_t> data);
+[[nodiscard]] SealedBlob seal(const Platform& platform,
+                              Measurement measurement, std::string_view data);
+
+/// Unseals a blob. Throws AttestationError if the blob was sealed on a
+/// different platform, by a different measurement, or was tampered with.
+[[nodiscard]] std::vector<std::uint8_t> unseal(const Platform& platform,
+                                               Measurement measurement,
+                                               const SealedBlob& blob);
+
+}  // namespace sgxo::sgx

@@ -1,0 +1,184 @@
+#include "sgx/driver.hpp"
+
+#include <vector>
+
+namespace sgxo::sgx {
+
+const char* to_string(SgxVersion version) {
+  switch (version) {
+    case SgxVersion::kSgx1: return "SGX1";
+    case SgxVersion::kSgx2: return "SGX2";
+  }
+  return "?";
+}
+
+Driver::Driver(DriverConfig config) : config_(config), epc_(config.epc) {}
+
+std::string Driver::read_module_param(const std::string& name) const {
+  if (name == "sgx_nr_total_epc_pages") {
+    return std::to_string(total_epc_pages().count());
+  }
+  if (name == "sgx_nr_free_pages") {
+    return std::to_string(free_epc_pages().count());
+  }
+  if (name == "sgx_nr_paged_out_pages") {
+    return std::to_string(epc_.total_paged_out());
+  }
+  throw DomainError{"unknown isgx module parameter: " + name};
+}
+
+Pages Driver::process_pages(Pid pid) const {
+  Pages total{0};
+  for (const auto& [id, record] : enclaves_) {
+    if (record.pid == pid) {
+      total += record.pages;
+    }
+  }
+  return total;
+}
+
+Pages Driver::pod_pages(const CgroupPath& cgroup) const {
+  Pages total{0};
+  for (const auto& [id, record] : enclaves_) {
+    if (record.cgroup == cgroup) {
+      total += record.pages;
+    }
+  }
+  return total;
+}
+
+void Driver::set_pod_limit(const CgroupPath& cgroup, Pages limit) {
+  SGXO_CHECK_MSG(!cgroup.empty(), "empty cgroup path");
+  if (limits_.find(cgroup) != limits_.end()) {
+    throw DomainError{"EPC limit already set for pod cgroup '" + cgroup +
+                      "' — limits are set-once"};
+  }
+  limits_.emplace(cgroup, limit);
+}
+
+std::optional<Pages> Driver::pod_limit(const CgroupPath& cgroup) const {
+  const auto it = limits_.find(cgroup);
+  if (it == limits_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Driver::forget_pod(const CgroupPath& cgroup) { limits_.erase(cgroup); }
+
+EnclaveId Driver::create_enclave(Pid pid, CgroupPath cgroup, Pages pages) {
+  SGXO_CHECK_MSG(pages.count() > 0, "enclave needs at least one page");
+  const EnclaveId id = next_id_++;
+  enclaves_.emplace(id, EnclaveRecord{pid, std::move(cgroup), pages, false});
+  epc_.commit(id, pages);
+  return id;
+}
+
+bool Driver::init_allowed(const EnclaveRecord& candidate) const {
+  if (!config_.enforce_limits) return true;
+  const auto limit_it = limits_.find(candidate.cgroup);
+  if (limit_it == limits_.end()) {
+    // No limit was advertised for this pod: the paper's Kubelet always
+    // installs one for pods requesting SGX, so a missing limit means a
+    // process outside any SGX-advertising pod — deny.
+    return false;
+  }
+  Pages pod_total = candidate.pages;
+  for (const auto& [id, record] : enclaves_) {
+    if (record.initialized && record.cgroup == candidate.cgroup) {
+      pod_total += record.pages;
+    }
+  }
+  return pod_total <= limit_it->second;
+}
+
+void Driver::init_enclave(EnclaveId id) {
+  const auto it = enclaves_.find(id);
+  SGXO_CHECK_MSG(it != enclaves_.end(), "initialising unknown enclave");
+  SGXO_CHECK_MSG(!it->second.initialized, "enclave already initialised");
+  if (!init_allowed(it->second)) {
+    const std::string cgroup = it->second.cgroup;
+    const Pages pages = it->second.pages;
+    epc_.release(id);
+    enclaves_.erase(it);
+    throw EnclaveInitDenied{
+        "enclave init denied for pod '" + cgroup + "': " +
+        std::to_string(pages.count()) + " pages exceed the pod's limit"};
+  }
+  it->second.initialized = true;
+}
+
+void Driver::destroy_enclave(EnclaveId id) {
+  const auto it = enclaves_.find(id);
+  SGXO_CHECK_MSG(it != enclaves_.end(), "destroying unknown enclave");
+  epc_.release(id);
+  enclaves_.erase(it);
+}
+
+void Driver::on_process_exit(Pid pid) {
+  std::vector<EnclaveId> owned;
+  for (const auto& [id, record] : enclaves_) {
+    if (record.pid == pid) owned.push_back(id);
+  }
+  for (const EnclaveId id : owned) {
+    destroy_enclave(id);
+  }
+}
+
+void Driver::augment_enclave(EnclaveId id, Pages delta) {
+  if (config_.version != SgxVersion::kSgx2) {
+    throw DomainError{
+        "dynamic enclave memory requires an SGX 2 driver (have SGX 1)"};
+  }
+  const auto it = enclaves_.find(id);
+  SGXO_CHECK_MSG(it != enclaves_.end(), "augmenting unknown enclave");
+  SGXO_CHECK_MSG(it->second.initialized,
+                 "EAUG targets an initialised enclave");
+  SGXO_CHECK_MSG(delta.count() > 0, "growth must add at least one page");
+  if (config_.enforce_limits) {
+    const auto limit_it = limits_.find(it->second.cgroup);
+    Pages pod_total = delta;
+    for (const auto& [other_id, record] : enclaves_) {
+      if (record.initialized && record.cgroup == it->second.cgroup) {
+        pod_total += record.pages;
+      }
+    }
+    if (limit_it == limits_.end() || pod_total > limit_it->second) {
+      throw EnclaveGrowthDenied{
+          "EAUG denied for pod '" + it->second.cgroup + "': growth to " +
+          std::to_string(pod_total.count()) + " pages exceeds the limit"};
+    }
+  }
+  it->second.pages += delta;
+  epc_.resize(id, it->second.pages);
+}
+
+void Driver::trim_enclave(EnclaveId id, Pages delta) {
+  if (config_.version != SgxVersion::kSgx2) {
+    throw DomainError{
+        "dynamic enclave memory requires an SGX 2 driver (have SGX 1)"};
+  }
+  const auto it = enclaves_.find(id);
+  SGXO_CHECK_MSG(it != enclaves_.end(), "trimming unknown enclave");
+  SGXO_CHECK_MSG(it->second.initialized, "trim targets an initialised enclave");
+  SGXO_CHECK_MSG(delta < it->second.pages,
+                 "trim must leave at least one page");
+  it->second.pages -= delta;
+  epc_.resize(id, it->second.pages);
+}
+
+std::vector<Driver::EnclaveInfo> Driver::enclave_infos() const {
+  std::vector<EnclaveInfo> infos;
+  infos.reserve(enclaves_.size());
+  for (const auto& [id, record] : enclaves_) {
+    infos.push_back(EnclaveInfo{id, record.pid, record.cgroup, record.pages,
+                                record.initialized});
+  }
+  return infos;
+}
+
+bool Driver::enclave_initialized(EnclaveId id) const {
+  const auto it = enclaves_.find(id);
+  SGXO_CHECK_MSG(it != enclaves_.end(), "unknown enclave");
+  return it->second.initialized;
+}
+
+}  // namespace sgxo::sgx

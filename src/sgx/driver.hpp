@@ -1,0 +1,156 @@
+// Model of the modified Intel SGX Linux driver (paper §V-D / §V-E).
+//
+// The paper's patch (115 LoC on top of Intel's isgx) adds:
+//   * module parameters `sgx_nr_total_epc_pages` and `sgx_nr_free_pages`
+//     readable under /sys/module/isgx/parameters/;
+//   * an ioctl reporting the EPC pages held by a single process (fed to the
+//     per-pod metrics probe);
+//   * an ioctl installing a cgroup-path-keyed EPC page limit — set once per
+//     pod by the Kubelet at pod creation, so containers cannot reset their
+//     own limit;
+//   * an enforcement hook in `__sgx_encl_init` denying initialisation of
+//     any enclave that would push its pod beyond the advertised limit.
+//
+// This class reproduces that observable contract for one machine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "sgx/epc.hpp"
+
+namespace sgxo::sgx {
+
+/// Process identifier on a node.
+using Pid = std::uint64_t;
+
+/// Pods are identified by their cgroup path: readily available in both
+/// Kubelet and the kernel, shared by all containers of a pod, distinct
+/// across pods, known before containers start (paper §V-D).
+using CgroupPath = std::string;
+
+/// Enclave initialisation was denied by the limit-enforcement hook.
+class EnclaveInitDenied : public DomainError {
+ public:
+  using DomainError::DomainError;
+};
+
+/// SGX 2 dynamic page augmentation was denied by the enforcement hook —
+/// the port of the paper's limit enforcement to SGX 2 (§VI-G describes it
+/// as a modest effort; this is that port).
+class EnclaveGrowthDenied : public DomainError {
+ public:
+  using DomainError::DomainError;
+};
+
+/// Hardware/driver generation. SGX 1 commits every enclave page at build
+/// time; SGX 2 adds dynamic memory management (EAUG/EACCEPT growth and
+/// trimming during execution, §VI-G).
+enum class SgxVersion { kSgx1, kSgx2 };
+
+[[nodiscard]] const char* to_string(SgxVersion version);
+
+struct DriverConfig {
+  EpcConfig epc;
+  /// Our enforcement modification; disabled reproduces the stock driver
+  /// (the "Limits disabled" runs of Fig. 11).
+  bool enforce_limits = true;
+  SgxVersion version = SgxVersion::kSgx1;
+};
+
+class Driver {
+ public:
+  explicit Driver(DriverConfig config);
+
+  // ---- module parameters (sysfs-style interface) -------------------------
+  /// Values as exported under /sys/module/isgx/parameters/<name>.
+  /// Throws DomainError for unknown parameter names.
+  [[nodiscard]] std::string read_module_param(const std::string& name) const;
+  [[nodiscard]] Pages total_epc_pages() const {
+    return epc_.total_pages();
+  }
+  [[nodiscard]] Pages free_epc_pages() const { return epc_.free_pages(); }
+
+  // ---- ioctl: per-process usage (SGX_IOC_EPC_PAGE_COUNT) -----------------
+  /// EPC pages committed by all enclaves of `pid`; 0 for unknown pids.
+  [[nodiscard]] Pages process_pages(Pid pid) const;
+  /// EPC pages committed by all enclaves of a pod (aggregated by the probe).
+  [[nodiscard]] Pages pod_pages(const CgroupPath& cgroup) const;
+
+  // ---- ioctl: limits (SGX_IOC_SET_EPC_LIMIT) ------------------------------
+  /// Installs the pod's EPC limit; set-once — a second call for the same
+  /// cgroup path throws DomainError (containers must not reset limits).
+  void set_pod_limit(const CgroupPath& cgroup, Pages limit);
+  [[nodiscard]] std::optional<Pages> pod_limit(const CgroupPath& cgroup) const;
+  /// Kubelet housekeeping when a pod is torn down.
+  void forget_pod(const CgroupPath& cgroup);
+
+  // ---- enclave lifecycle (what the SDK/urts would drive) ------------------
+  /// ECREATE + EADD: commits all pages up front (SGX 1 semantics — dynamic
+  /// allocation only arrives with SGX 2).
+  [[nodiscard]] EnclaveId create_enclave(Pid pid, CgroupPath cgroup,
+                                         Pages pages);
+  /// EINIT (`__sgx_encl_init`): runs the enforcement hook. On denial the
+  /// enclave is torn down (its pages released) and EnclaveInitDenied is
+  /// thrown.
+  void init_enclave(EnclaveId id);
+  void destroy_enclave(EnclaveId id);
+  /// Releases every enclave of a process (process exit path).
+  void on_process_exit(Pid pid);
+
+  // ---- SGX 2 dynamic memory management (§VI-G) ----------------------------
+  /// EAUG + EACCEPT: grows an initialised enclave by `delta` pages during
+  /// execution. Requires an SGX 2 driver. When limits are enforced, growth
+  /// that would push the pod beyond its advertised limit throws
+  /// EnclaveGrowthDenied (the enclave keeps its current size).
+  void augment_enclave(EnclaveId id, Pages delta);
+  /// Trims `delta` pages from an initialised enclave (must keep >= 1).
+  void trim_enclave(EnclaveId id, Pages delta);
+  [[nodiscard]] SgxVersion version() const { return config_.version; }
+
+  // ---- introspection -------------------------------------------------------
+  /// Snapshot of every live enclave (debugfs-style listing, used by the
+  /// node inspection tooling).
+  struct EnclaveInfo {
+    EnclaveId id = 0;
+    Pid pid = 0;
+    CgroupPath cgroup;
+    Pages pages;
+    bool initialized = false;
+  };
+  [[nodiscard]] std::vector<EnclaveInfo> enclave_infos() const;
+
+  [[nodiscard]] const EpcAccounting& epc() const { return epc_; }
+  [[nodiscard]] bool limits_enforced() const {
+    return config_.enforce_limits;
+  }
+  [[nodiscard]] std::size_t enclave_count() const {
+    return enclaves_.size();
+  }
+  [[nodiscard]] bool enclave_initialized(EnclaveId id) const;
+
+ private:
+  struct EnclaveRecord {
+    Pid pid = 0;
+    CgroupPath cgroup;
+    Pages pages;
+    bool initialized = false;
+  };
+
+  /// The `__sgx_encl_init` hook: pages already initialised for this pod plus
+  /// the candidate enclave must fit the pod's advertised limit.
+  [[nodiscard]] bool init_allowed(const EnclaveRecord& candidate) const;
+
+  DriverConfig config_;
+  EpcAccounting epc_;
+  std::map<EnclaveId, EnclaveRecord> enclaves_;
+  std::map<CgroupPath, Pages> limits_;
+  EnclaveId next_id_ = 1;
+};
+
+}  // namespace sgxo::sgx

@@ -1,0 +1,110 @@
+#include "sgx/epc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sgxo::sgx {
+
+EpcConfig EpcConfig::sgx1() { return EpcConfig{}; }
+
+EpcConfig EpcConfig::with_usable(Bytes usable) {
+  EpcConfig cfg;
+  cfg.usable = usable;
+  // Keep the metadata overhead ratio of current hardware (128 : 93.5).
+  cfg.reserved = Bytes{static_cast<std::uint64_t>(
+      static_cast<double>(usable.count()) * 128.0 / 93.5)};
+  return cfg;
+}
+
+EpcAccounting::EpcAccounting(EpcConfig config) : config_(config) {
+  SGXO_CHECK_MSG(config_.usable.count() > 0, "EPC must have usable pages");
+  SGXO_CHECK_MSG(config_.usable <= config_.reserved,
+                 "usable EPC cannot exceed reserved PRM");
+}
+
+Pages EpcAccounting::free_pages() const {
+  const Pages total = total_pages();
+  return committed_ >= total ? Pages{0} : total - committed_;
+}
+
+Pages EpcAccounting::resident_pages() const {
+  Pages resident{0};
+  for (const auto& [id, entry] : enclaves_) {
+    resident += entry.resident;
+  }
+  return resident;
+}
+
+double EpcAccounting::pressure() const {
+  return static_cast<double>(committed_.count()) /
+         static_cast<double>(total_pages().count());
+}
+
+void EpcAccounting::commit(EnclaveId id, Pages pages) {
+  SGXO_CHECK_MSG(!contains(id), "enclave id already committed");
+  SGXO_CHECK_MSG(pages.count() > 0, "enclave must commit at least one page");
+  enclaves_.emplace(id, Entry{pages, Pages{0}, next_order_++});
+  committed_ += pages;
+  rebalance();
+}
+
+void EpcAccounting::release(EnclaveId id) {
+  const auto it = enclaves_.find(id);
+  SGXO_CHECK_MSG(it != enclaves_.end(), "releasing unknown enclave");
+  committed_ -= it->second.committed;
+  enclaves_.erase(it);
+  rebalance();
+}
+
+void EpcAccounting::resize(EnclaveId id, Pages new_committed) {
+  const auto it = enclaves_.find(id);
+  SGXO_CHECK_MSG(it != enclaves_.end(), "resizing unknown enclave");
+  SGXO_CHECK_MSG(new_committed.count() > 0,
+                 "enclave must keep at least one page");
+  committed_ -= it->second.committed;
+  it->second.committed = new_committed;
+  committed_ += new_committed;
+  rebalance();
+}
+
+bool EpcAccounting::contains(EnclaveId id) const {
+  return enclaves_.find(id) != enclaves_.end();
+}
+
+Pages EpcAccounting::pages_of(EnclaveId id) const {
+  const auto it = enclaves_.find(id);
+  SGXO_CHECK_MSG(it != enclaves_.end(), "unknown enclave");
+  return it->second.committed;
+}
+
+Pages EpcAccounting::resident_of(EnclaveId id) const {
+  const auto it = enclaves_.find(id);
+  SGXO_CHECK_MSG(it != enclaves_.end(), "unknown enclave");
+  return it->second.resident;
+}
+
+void EpcAccounting::rebalance() {
+  // Newest enclaves stay fully resident; older ones take the paging hit.
+  // Deterministic and simple — the experiments only depend on *whether*
+  // paging happens, not on which victim the real driver would pick.
+  std::vector<Entry*> by_recency;
+  by_recency.reserve(enclaves_.size());
+  for (auto& [id, entry] : enclaves_) {
+    by_recency.push_back(&entry);
+  }
+  std::sort(by_recency.begin(), by_recency.end(),
+            [](const Entry* a, const Entry* b) { return a->order > b->order; });
+  Pages budget = total_pages();
+  for (Entry* entry : by_recency) {
+    const Pages grant = std::min(entry->committed, budget);
+    if (grant < entry->resident) {
+      // Pages just written back to system RAM (EWB).
+      paged_out_ += (entry->resident - grant).count();
+    }
+    entry->resident = grant;
+    budget -= grant;
+  }
+}
+
+}  // namespace sgxo::sgx

@@ -1,0 +1,107 @@
+// Model of the Enclave Page Cache (EPC).
+//
+// Current SGX hardware reserves (at most) 128 MiB of Processor Reserved
+// Memory; only 93.5 MiB (23 936 × 4 KiB pages) are usable by enclaves, the
+// rest holds SGX metadata (paper §II). The EPC is shared by all enclaves on
+// a machine and over-commitment is possible through driver-managed paging —
+// at a severe performance cost (up to 1000×, SCONE).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace sgxo::sgx {
+
+/// Static EPC geometry of one machine. The paper's evaluation also simulates
+/// future SGX 2 geometries (32/64/128/256 MiB usable — Fig. 7), hence the
+/// configurable sizes.
+struct EpcConfig {
+  /// PRM reserved via UEFI (needs a reboot to change on real hardware).
+  Bytes reserved = Bytes{128ULL << 20};
+  /// Usable by enclaves after SGX metadata; 93.5 MiB on current hardware.
+  Bytes usable = mib(93.5);
+
+  [[nodiscard]] Pages usable_pages() const {
+    return Pages{usable.count() / Pages::kPageSize};
+  }
+
+  /// The paper's current-hardware geometry.
+  [[nodiscard]] static EpcConfig sgx1();
+  /// A hypothetical geometry with the given usable size (Fig. 7 sweeps).
+  [[nodiscard]] static EpcConfig with_usable(Bytes usable);
+};
+
+using EnclaveId = std::uint64_t;
+
+/// Page-level accounting for one machine's EPC.
+///
+/// Tracks, per enclave, how many pages are committed (allocated by the
+/// enclave) and how many are currently resident in the EPC. When committed
+/// pages exceed capacity, least-recently-created enclaves are paged out
+/// first (a simple deterministic stand-in for the driver's eviction policy).
+class EpcAccounting {
+ public:
+  explicit EpcAccounting(EpcConfig config);
+
+  [[nodiscard]] const EpcConfig& config() const { return config_; }
+  [[nodiscard]] Pages total_pages() const { return config_.usable_pages(); }
+  /// Pages not committed to any enclave (what the modified driver exports
+  /// as `sgx_nr_free_pages`).
+  [[nodiscard]] Pages free_pages() const;
+  [[nodiscard]] Pages committed_pages() const { return committed_; }
+  /// Pages physically resident in the EPC (<= total).
+  [[nodiscard]] Pages resident_pages() const;
+  /// True when committed pages exceed the EPC and paging is active.
+  [[nodiscard]] bool overcommitted() const {
+    return committed_ > total_pages();
+  }
+  /// committed / total; 1.0 means exactly full.
+  [[nodiscard]] double pressure() const;
+
+  /// Registers an enclave committing `pages`. Over-commitment is allowed
+  /// here — *policy* (scheduler / limit enforcement) decides whether it was
+  /// legitimate; the hardware itself only refuses when a single enclave
+  /// exceeds the whole EPC by more than the paging pool allows (we accept
+  /// any size and page).
+  void commit(EnclaveId id, Pages pages);
+
+  /// Releases an enclave's pages (enclave destroyed).
+  void release(EnclaveId id);
+
+  /// SGX 2 dynamic memory management: changes an enclave's committed page
+  /// count at runtime (EAUG/EACCEPT growth, trim shrinkage). The new count
+  /// must be at least one page.
+  void resize(EnclaveId id, Pages new_committed);
+
+  [[nodiscard]] bool contains(EnclaveId id) const;
+  [[nodiscard]] Pages pages_of(EnclaveId id) const;
+  /// Pages of `id` currently resident (rest are paged out to system RAM).
+  [[nodiscard]] Pages resident_of(EnclaveId id) const;
+  [[nodiscard]] std::size_t enclave_count() const { return enclaves_.size(); }
+  /// Cumulative pages evicted from the EPC to system RAM (EWB events) —
+  /// every paging event is a performance cliff the scheduler tries to
+  /// avoid, so the count is exported for monitoring.
+  [[nodiscard]] std::uint64_t total_paged_out() const { return paged_out_; }
+
+ private:
+  /// Re-balances residency after any commit/release: enclaves are kept
+  /// resident newest-first until the EPC is full; older ones spill.
+  void rebalance();
+
+  struct Entry {
+    Pages committed;
+    Pages resident;
+    std::uint64_t order;  // creation order, for deterministic eviction
+  };
+
+  EpcConfig config_;
+  Pages committed_;
+  std::map<EnclaveId, Entry> enclaves_;
+  std::uint64_t next_order_ = 0;
+  std::uint64_t paged_out_ = 0;
+};
+
+}  // namespace sgxo::sgx

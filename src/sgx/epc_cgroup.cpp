@@ -1,0 +1,158 @@
+#include "sgx/epc_cgroup.hpp"
+
+#include <algorithm>
+
+namespace sgxo::sgx {
+
+EpcCgroupController::EpcCgroupController(Pages root_capacity)
+    : root_capacity_(root_capacity) {
+  SGXO_CHECK_MSG(root_capacity_.count() > 0, "root needs capacity");
+  Group root;
+  root.limit = root_capacity_;
+  groups_.emplace("/", root);
+}
+
+std::vector<CgroupPath> EpcCgroupController::chain_of(
+    const CgroupPath& path) {
+  if (path.empty() || path.front() != '/') {
+    throw CgroupError{"cgroup path must be absolute: '" + path + "'"};
+  }
+  if (path.size() > 1 && path.back() == '/') {
+    throw CgroupError{"cgroup path must not end with '/': '" + path + "'"};
+  }
+  std::vector<CgroupPath> chain{"/"};
+  std::size_t pos = 1;
+  while (pos < path.size()) {
+    const std::size_t next = path.find('/', pos);
+    const std::size_t end = next == std::string::npos ? path.size() : next;
+    if (end == pos) {
+      throw CgroupError{"empty cgroup path segment in '" + path + "'"};
+    }
+    chain.push_back(path.substr(0, end));
+    pos = end + 1;
+  }
+  return chain;
+}
+
+const EpcCgroupController::Group& EpcCgroupController::group(
+    const CgroupPath& path) const {
+  const auto it = groups_.find(path);
+  if (it == groups_.end()) {
+    throw CgroupError{"no such cgroup: '" + path + "'"};
+  }
+  return it->second;
+}
+
+EpcCgroupController::Group& EpcCgroupController::group(
+    const CgroupPath& path) {
+  const auto it = groups_.find(path);
+  if (it == groups_.end()) {
+    throw CgroupError{"no such cgroup: '" + path + "'"};
+  }
+  return it->second;
+}
+
+void EpcCgroupController::create_group(const CgroupPath& path) {
+  const std::vector<CgroupPath> chain = chain_of(path);
+  if (chain.size() < 2) {
+    throw CgroupError{"cannot re-create the root group"};
+  }
+  if (exists(path)) {
+    throw CgroupError{"cgroup already exists: '" + path + "'"};
+  }
+  // Every ancestor must exist (mkdir, not mkdir -p: the kernel's rule).
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    if (!exists(chain[i])) {
+      throw CgroupError{"parent cgroup missing: '" + chain[i] + "'"};
+    }
+  }
+  groups_.emplace(path, Group{});
+}
+
+void EpcCgroupController::remove_group(const CgroupPath& path) {
+  if (path == "/") throw CgroupError{"cannot remove the root group"};
+  const Group& g = group(path);
+  if (g.subtree.count() > 0) {
+    throw CgroupError{"cgroup busy (charged): '" + path + "'"};
+  }
+  if (!children_of(path).empty()) {
+    throw CgroupError{"cgroup has children: '" + path + "'"};
+  }
+  groups_.erase(path);
+}
+
+bool EpcCgroupController::exists(const CgroupPath& path) const {
+  return groups_.find(path) != groups_.end();
+}
+
+std::vector<CgroupPath> EpcCgroupController::children_of(
+    const CgroupPath& path) const {
+  (void)group(path);  // validate existence
+  const std::string prefix = path == "/" ? "/" : path + "/";
+  std::vector<CgroupPath> children;
+  for (const auto& [candidate, g] : groups_) {
+    if (candidate.size() <= prefix.size()) continue;
+    if (candidate.compare(0, prefix.size(), prefix) != 0) continue;
+    // Direct children only: no further '/' after the prefix.
+    if (candidate.find('/', prefix.size()) != std::string::npos) continue;
+    children.push_back(candidate);
+  }
+  return children;
+}
+
+void EpcCgroupController::set_limit(const CgroupPath& path, Pages limit) {
+  if (path == "/") {
+    throw CgroupError{"the root limit is the machine's EPC capacity"};
+  }
+  group(path).limit = limit;
+}
+
+void EpcCgroupController::clear_limit(const CgroupPath& path) {
+  if (path == "/") {
+    throw CgroupError{"the root limit is the machine's EPC capacity"};
+  }
+  group(path).limit.reset();
+}
+
+std::optional<Pages> EpcCgroupController::limit(
+    const CgroupPath& path) const {
+  return group(path).limit;
+}
+
+bool EpcCgroupController::try_charge(const CgroupPath& path, Pages pages) {
+  const std::vector<CgroupPath> chain = chain_of(path);
+  // Validate the whole chain first (all-or-nothing).
+  for (const CgroupPath& level : chain) {
+    const Group& g = group(level);
+    if (g.limit.has_value() && g.subtree + pages > *g.limit) {
+      return false;
+    }
+  }
+  for (const CgroupPath& level : chain) {
+    group(level).subtree += pages;
+  }
+  group(path).local += pages;
+  return true;
+}
+
+void EpcCgroupController::uncharge(const CgroupPath& path, Pages pages) {
+  const std::vector<CgroupPath> chain = chain_of(path);
+  Group& leaf = group(path);
+  SGXO_CHECK_MSG(leaf.local >= pages, "uncharging more than was charged");
+  for (const CgroupPath& level : chain) {
+    Group& g = group(level);
+    SGXO_CHECK(g.subtree >= pages);
+    g.subtree -= pages;
+  }
+  leaf.local -= pages;
+}
+
+Pages EpcCgroupController::usage(const CgroupPath& path) const {
+  return group(path).subtree;
+}
+
+Pages EpcCgroupController::local_usage(const CgroupPath& path) const {
+  return group(path).local;
+}
+
+}  // namespace sgxo::sgx

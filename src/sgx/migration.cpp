@@ -1,0 +1,117 @@
+#include "sgx/migration.hpp"
+
+#include "common/hash.hpp"
+
+namespace sgxo::sgx {
+
+namespace {
+
+/// Authenticator over the checkpoint's security-relevant fields.
+std::uint64_t checkpoint_mac(HashKey key, const EnclaveCheckpoint& cp) {
+  return siphash24(key, to_hex(cp.lineage()) + '|' +
+                            to_hex(cp.generation()) + '|' +
+                            to_hex(cp.pages().count()));
+}
+
+/// Reaching the quiescent point: synchronisation variables inside the
+/// enclave force all threads dormant (Gu et al. report this dominated by
+/// a few scheduler quanta).
+constexpr Duration kQuiescenceLatency = Duration::millis(10);
+
+/// Sealed state capture/restore cost per page (encrypt + integrity tag).
+constexpr double kSealMicrosPerPage = 1.5;
+
+}  // namespace
+
+MigrationService::CheckpointResult MigrationService::checkpoint(
+    Driver& source, EnclaveId id, std::uint64_t lineage) {
+  if (!source.enclave_initialized(id)) {
+    throw MigrationError{"cannot checkpoint an uninitialised enclave"};
+  }
+  EnclaveCheckpoint cp;
+  cp.pages_ = source.epc().pages_of(id);
+  cp.lineage_ = lineage;
+  cp.generation_ = ++latest_generation_[lineage];
+  // Self-destroy: the source copy must not be resumable after the
+  // checkpoint exists.
+  source.destroy_enclave(id);
+  ++taken_;
+
+  const Duration capture = Duration::micros(static_cast<std::int64_t>(
+      static_cast<double>(cp.pages_.count()) * kSealMicrosPerPage));
+  return CheckpointResult{cp, kQuiescenceLatency + capture};
+}
+
+MigrationService::CheckpointResult MigrationService::checkpoint(
+    Driver& source, EnclaveId id, std::uint64_t lineage,
+    HashKey migration_key) {
+  CheckpointResult result = checkpoint(source, id, lineage);
+  result.checkpoint.keyed_ = true;
+  result.checkpoint.mac_ = checkpoint_mac(migration_key, result.checkpoint);
+  return result;
+}
+
+MigrationService::RestoreResult MigrationService::restore(
+    Driver& target, EnclaveCheckpoint& cp, Pid pid, const CgroupPath& cgroup,
+    HashKey migration_key) {
+  if (!cp.keyed_ || checkpoint_mac(migration_key, cp) != cp.mac_) {
+    throw MigrationError{
+        "checkpoint failed authentication under the migration key"};
+  }
+  // Temporarily strip the key flag so the base path accepts it.
+  cp.keyed_ = false;
+  try {
+    RestoreResult result = restore(target, cp, pid, cgroup);
+    cp.keyed_ = true;
+    return result;
+  } catch (...) {
+    cp.keyed_ = true;
+    throw;
+  }
+}
+
+MigrationService::RestoreResult MigrationService::restore(
+    Driver& target, EnclaveCheckpoint& cp, Pid pid,
+    const CgroupPath& cgroup) {
+  if (cp.keyed_) {
+    throw MigrationError{
+        "key-protected checkpoint requires the keyed restore path"};
+  }
+  if (cp.consumed_) {
+    throw MigrationError{
+        "fork attack prevented: checkpoint was already restored"};
+  }
+  const auto latest = latest_generation_.find(cp.lineage_);
+  if (latest == latest_generation_.end() ||
+      cp.generation_ != latest->second) {
+    throw MigrationError{
+        "rollback attack prevented: checkpoint generation is stale"};
+  }
+
+  const EnclaveId id = target.create_enclave(pid, cgroup, cp.pages_);
+  try {
+    target.init_enclave(id);  // target-side enforcement applies
+  } catch (...) {
+    // Restore failed before the state was live; the checkpoint remains
+    // valid so the workload is not lost.
+    throw;
+  }
+  cp.consumed_ = true;
+  ++restored_;
+
+  const Duration unseal = Duration::micros(static_cast<std::int64_t>(
+      static_cast<double>(cp.pages_.count()) * kSealMicrosPerPage));
+  const Duration realloc =
+      model_->alloc_latency(cp.pages_.as_bytes(),
+                            target.epc().config().usable);
+  return RestoreResult{id, realloc + unseal};
+}
+
+Duration MigrationService::transfer_latency(
+    const EnclaveCheckpoint& cp, double bandwidth_bytes_per_sec) const {
+  SGXO_CHECK(bandwidth_bytes_per_sec > 0.0);
+  return Duration::from_seconds(
+      static_cast<double>(cp.blob_size().count()) / bandwidth_bytes_per_sec);
+}
+
+}  // namespace sgxo::sgx

@@ -1,0 +1,121 @@
+// Secure enclave checkpoint/restore — the enclave-migration building block
+// the paper names as future work (§VIII), modelled on Gu et al. (DSN'17),
+// the approach the paper's related-work section analyses in depth:
+//
+//   * the source enclave is driven to a quiescent point (all threads
+//     dormant or spinning) before its state is captured;
+//   * the checkpoint is sealed under a migration key established through
+//     remote attestation between source and target;
+//   * fork attacks (restoring one checkpoint twice) are prevented by
+//     marking checkpoints consumed on restore;
+//   * rollback attacks (restoring a stale checkpoint) are prevented by a
+//     per-lineage generation counter;
+//   * the source enclave self-destroys at checkpoint time so it cannot be
+//     resumed concurrently with the restored copy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "sgx/driver.hpp"
+#include "sgx/perf_model.hpp"
+
+namespace sgxo::sgx {
+
+class MigrationError : public DomainError {
+ public:
+  using DomainError::DomainError;
+};
+
+/// A sealed, single-use enclave checkpoint.
+class EnclaveCheckpoint {
+ public:
+  [[nodiscard]] Pages pages() const { return pages_; }
+  /// Identity of the migrating enclave across hosts (e.g. derived from
+  /// the owning pod).
+  [[nodiscard]] std::uint64_t lineage() const { return lineage_; }
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  [[nodiscard]] bool consumed() const { return consumed_; }
+  /// True when the blob is authenticated under a migration key (the key
+  /// mutual attestation established, see AttestationService).
+  [[nodiscard]] bool protected_by_key() const { return keyed_; }
+  /// Serialized size: page contents plus sealed metadata.
+  [[nodiscard]] Bytes blob_size() const {
+    return pages_.as_bytes() + Bytes{64 * 1024};
+  }
+
+ private:
+  friend class MigrationService;
+  Pages pages_{};
+  std::uint64_t lineage_ = 0;
+  std::uint64_t generation_ = 0;
+  bool consumed_ = false;
+  bool keyed_ = false;
+  std::uint64_t mac_ = 0;
+};
+
+class MigrationService {
+ public:
+  explicit MigrationService(const PerfModel& model) : model_(&model) {}
+
+  struct CheckpointResult {
+    EnclaveCheckpoint checkpoint;
+    /// Quiescence + state capture + sealing.
+    Duration latency;
+  };
+
+  /// Quiesces and checkpoints enclave `id` on `source`, then destroys the
+  /// source copy (self-destroy). `lineage` identifies the migrating
+  /// workload; successive checkpoints of one lineage get increasing
+  /// generations.
+  [[nodiscard]] CheckpointResult checkpoint(Driver& source, EnclaveId id,
+                                            std::uint64_t lineage);
+  /// Keyed variant: the checkpoint is additionally authenticated under
+  /// `migration_key` — the shared secret mutual attestation established
+  /// between source and target (AttestationService::establish_shared_key).
+  /// Restore must present the same key.
+  [[nodiscard]] CheckpointResult checkpoint(Driver& source, EnclaveId id,
+                                            std::uint64_t lineage,
+                                            HashKey migration_key);
+
+  struct RestoreResult {
+    EnclaveId enclave;
+    /// Page re-allocation + unsealing + replay of unreadable metadata.
+    Duration latency;
+  };
+
+  /// Restores a checkpoint as a fresh enclave on `target` under the given
+  /// process/pod. Enforcement on the target driver applies as for any new
+  /// enclave. Throws MigrationError on fork (already consumed) or
+  /// rollback (stale generation) attempts; the checkpoint stays unconsumed
+  /// only if restore never began.
+  [[nodiscard]] RestoreResult restore(Driver& target, EnclaveCheckpoint& cp,
+                                      Pid pid, const CgroupPath& cgroup);
+  /// Keyed variant for key-protected checkpoints; throws MigrationError
+  /// when the key does not authenticate the blob. Key-protected
+  /// checkpoints refuse the unkeyed restore path entirely.
+  [[nodiscard]] RestoreResult restore(Driver& target, EnclaveCheckpoint& cp,
+                                      Pid pid, const CgroupPath& cgroup,
+                                      HashKey migration_key);
+
+  /// Wire latency of shipping the sealed blob between hosts.
+  [[nodiscard]] Duration transfer_latency(
+      const EnclaveCheckpoint& cp,
+      double bandwidth_bytes_per_sec = 125e6) const;
+
+  [[nodiscard]] std::uint64_t checkpoints_taken() const { return taken_; }
+  [[nodiscard]] std::uint64_t restores_done() const { return restored_; }
+
+ private:
+  const PerfModel* model_;
+  /// Latest generation per lineage — the rollback guard.
+  std::map<std::uint64_t, std::uint64_t> latest_generation_;
+  std::uint64_t taken_ = 0;
+  std::uint64_t restored_ = 0;
+};
+
+}  // namespace sgxo::sgx

@@ -1,0 +1,131 @@
+// Application-side SGX runtime, modelling what the Intel SDK + Platform
+// Software (PSW) do inside a container (paper §II Fig. 1 and §V-F):
+//
+//   * each container runs its own AESM service instance (containers are not
+//     privileged, so they cannot share the host's) — ~100 ms startup;
+//   * enclave creation commits all pages, then EINIT runs through the
+//     driver's enforcement hook;
+//   * trusted functions are entered via ecalls through the call gate, each
+//     transition costing a fixed overhead.
+#pragma once
+
+#include <cstdint>
+
+#include <memory>
+#include <optional>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "sgx/attestation.hpp"
+#include "sgx/driver.hpp"
+#include "sgx/perf_model.hpp"
+
+namespace sgxo::sgx {
+
+/// One container's AESM service instance. §II: "Access to the LE and
+/// other architectural enclaves, such as the Quoting Enclave (QE) and the
+/// Provisioning Enclave (PE) is provided by the Intel Application Enclave
+/// Service Manager (AESM). SGX libraries provide an abstraction layer for
+/// communicating with the AESM."
+class AesmService {
+ public:
+  /// Minimal instance without architectural enclaves (timing only).
+  explicit AesmService(const PerfModel& model) : model_(&model) {}
+  /// Full instance bound to the host's platform: exposes LE and QE and
+  /// can run the PE provisioning flow.
+  AesmService(const PerfModel& model, const Platform& platform);
+
+  /// Starts the service; returns its startup latency. Idempotent — a second
+  /// call is free (service already running).
+  Duration start();
+  [[nodiscard]] bool running() const { return running_; }
+
+  [[nodiscard]] bool has_architectural_enclaves() const {
+    return launch_enclave_.has_value();
+  }
+  /// Launch Enclave access; throws DomainError without a platform.
+  [[nodiscard]] LaunchEnclave& launch_enclave();
+  /// Quoting Enclave access; throws DomainError without a platform.
+  [[nodiscard]] const QuotingEnclave& quoting_enclave() const;
+  /// Provisioning Enclave flow: enrols this platform with the service.
+  void provision_with(AttestationService& service);
+
+ private:
+  const PerfModel* model_;
+  bool running_ = false;
+  std::optional<Platform> platform_;
+  std::optional<LaunchEnclave> launch_enclave_;
+  std::optional<QuotingEnclave> quoting_enclave_;
+};
+
+/// A live enclave held by an application. RAII: destruction releases the
+/// EPC pages through the driver.
+class EnclaveHandle {
+ public:
+  EnclaveHandle(Driver& driver, const PerfModel& model, EnclaveId id,
+                Pages pages);
+  ~EnclaveHandle();
+
+  EnclaveHandle(const EnclaveHandle&) = delete;
+  EnclaveHandle& operator=(const EnclaveHandle&) = delete;
+  EnclaveHandle(EnclaveHandle&& other) noexcept;
+  EnclaveHandle& operator=(EnclaveHandle&& other) noexcept;
+
+  [[nodiscard]] EnclaveId id() const { return id_; }
+  [[nodiscard]] Pages pages() const { return pages_; }
+  [[nodiscard]] bool valid() const { return driver_ != nullptr; }
+
+  /// Executes one trusted function: enter through the call gate, run for
+  /// `trusted_work` of virtual time (scaled by the current EPC paging
+  /// slowdown), return. Returns the total latency of the ecall.
+  Duration ecall(Duration trusted_work);
+
+  /// SGX 2: grows the enclave by `delta` during execution. Returns the
+  /// EAUG/EACCEPT latency. Throws EnclaveGrowthDenied when the driver's
+  /// enforcement hook rejects the growth, DomainError on SGX 1 drivers.
+  Duration grow(Bytes delta);
+  /// SGX 2: releases `delta` back to the EPC. Returns the trim latency.
+  Duration shrink(Bytes delta);
+
+  [[nodiscard]] std::uint64_t ecall_count() const { return ecalls_; }
+
+  /// Releases the enclave early (idempotent).
+  void destroy();
+
+  /// Gives up ownership *without* destroying the enclave — used when the
+  /// driver-side object is handed to another owner (enclave migration
+  /// checkpoints destroy it through the MigrationService instead).
+  EnclaveId release_ownership();
+
+ private:
+  Driver* driver_;
+  const PerfModel* model_;
+  EnclaveId id_;
+  Pages pages_;
+  std::uint64_t ecalls_ = 0;
+};
+
+/// Launches enclaves for a containerised process.
+class Sdk {
+ public:
+  Sdk(Driver& driver, const PerfModel& model)
+      : driver_(&driver), model_(&model) {}
+
+  struct Launch {
+    EnclaveHandle enclave;
+    /// create + EINIT latency, including the Fig. 6 allocation cost.
+    Duration latency;
+  };
+
+  /// Creates and initialises an enclave of `size` for process `pid` inside
+  /// pod `cgroup`. Throws EnclaveInitDenied if the driver's enforcement
+  /// hook rejects it (pages are already released in that case).
+  [[nodiscard]] Launch launch_enclave(Pid pid, const CgroupPath& cgroup,
+                                      Bytes size);
+
+ private:
+  Driver* driver_;
+  const PerfModel* model_;
+};
+
+}  // namespace sgxo::sgx

@@ -1,0 +1,85 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+
+namespace sgxo::sim {
+
+EventId Simulation::push(TimePoint at, Duration period, Callback cb) {
+  SGXO_CHECK_MSG(at >= now_, "cannot schedule in the past");
+  SGXO_CHECK_MSG(static_cast<bool>(cb), "null event callback");
+  const EventId id{next_seq_};
+  queue_.push(Entry{at, next_seq_, period, std::move(cb)});
+  ++next_seq_;
+  return id;
+}
+
+EventId Simulation::schedule_at(TimePoint at, Callback cb) {
+  return push(at, Duration{}, std::move(cb));
+}
+
+EventId Simulation::schedule_after(Duration delay, Callback cb) {
+  SGXO_CHECK_MSG(delay >= Duration{}, "negative delay");
+  return push(now_ + delay, Duration{}, std::move(cb));
+}
+
+EventId Simulation::schedule_every(Duration initial_delay, Duration period,
+                                   Callback cb) {
+  SGXO_CHECK_MSG(period > Duration{}, "period must be positive");
+  SGXO_CHECK_MSG(initial_delay >= Duration{}, "negative initial delay");
+  return push(now_ + initial_delay, period, std::move(cb));
+}
+
+bool Simulation::cancel(EventId id) {
+  if (!id.valid() || id.seq_ >= next_seq_) return false;
+  if (std::find(cancelled_.begin(), cancelled_.end(), id.seq_) !=
+      cancelled_.end()) {
+    return false;
+  }
+  cancelled_.push_back(id.seq_);
+  return true;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; copy the small fields and move the
+    // callback out via const_cast-free re-push for repeating events.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    const auto cancelled_it =
+        std::find(cancelled_.begin(), cancelled_.end(), entry.seq);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    now_ = entry.at;
+    ++fired_;
+    if (entry.period > Duration{}) {
+      // Re-arm before invoking so the callback can cancel its own timer.
+      queue_.push(Entry{entry.at + entry.period, entry.seq, entry.period,
+                        entry.cb});
+      entry.cb();
+    } else {
+      entry.cb();
+    }
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run(std::uint64_t max_events) {
+  const std::uint64_t start = fired_;
+  while (step()) {
+    SGXO_CHECK_MSG(fired_ - start <= max_events,
+                   "simulation exceeded max_events — runaway timer?");
+  }
+}
+
+void Simulation::run_until(TimePoint deadline) {
+  SGXO_CHECK_MSG(deadline >= now_, "deadline in the past");
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+  }
+  now_ = deadline;
+}
+
+}  // namespace sgxo::sim

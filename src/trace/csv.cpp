@@ -1,0 +1,100 @@
+#include "trace/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sgxo::trace {
+
+namespace {
+
+constexpr const char* kHeader =
+    "id,submission_us,duration_us,assigned_memory,max_memory_usage,sgx";
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream iss{line};
+  while (std::getline(iss, field, sep)) {
+    fields.push_back(field);
+  }
+  // Trailing empty field after a final separator.
+  if (!line.empty() && line.back() == sep) {
+    fields.emplace_back();
+  }
+  return fields;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const std::vector<TraceJob>& jobs) {
+  // Full round-trip precision for the memory fractions.
+  os.precision(17);
+  os << kHeader << '\n';
+  for (const TraceJob& job : jobs) {
+    os << job.id << ',' << job.submission.micros_count() << ','
+       << job.duration.micros_count() << ',' << job.assigned_memory << ','
+       << job.max_memory_usage << ',' << (job.sgx ? 1 : 0) << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path,
+                    const std::vector<TraceJob>& jobs) {
+  std::ofstream file{path};
+  if (!file) {
+    throw DomainError{"cannot open trace file for writing: " + path};
+  }
+  write_csv(file, jobs);
+}
+
+std::vector<TraceJob> read_csv(std::istream& is) {
+  std::vector<TraceJob> jobs;
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw DomainError{"trace CSV: missing or unexpected header"};
+  }
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split(line, ',');
+    if (fields.size() != 6) {
+      throw DomainError{"trace CSV line " + std::to_string(line_no) +
+                        ": expected 6 fields, got " +
+                        std::to_string(fields.size())};
+    }
+    try {
+      TraceJob job;
+      job.id = std::stoull(fields[0]);
+      job.submission = Duration::micros(std::stoll(fields[1]));
+      job.duration = Duration::micros(std::stoll(fields[2]));
+      job.assigned_memory = std::stod(fields[3]);
+      job.max_memory_usage = std::stod(fields[4]);
+      const int sgx = std::stoi(fields[5]);
+      if (sgx != 0 && sgx != 1) {
+        throw DomainError{"sgx flag must be 0 or 1"};
+      }
+      job.sgx = sgx == 1;
+      jobs.push_back(job);
+    } catch (const std::invalid_argument&) {
+      throw DomainError{"trace CSV line " + std::to_string(line_no) +
+                        ": malformed number"};
+    } catch (const std::out_of_range&) {
+      throw DomainError{"trace CSV line " + std::to_string(line_no) +
+                        ": number out of range"};
+    }
+  }
+  return jobs;
+}
+
+std::vector<TraceJob> read_csv_file(const std::string& path) {
+  std::ifstream file{path};
+  if (!file) {
+    throw DomainError{"cannot open trace file: " + path};
+  }
+  return read_csv(file);
+}
+
+}  // namespace sgxo::trace

@@ -1,0 +1,23 @@
+// CSV persistence for traces, so generated workloads can be inspected,
+// versioned, and replayed unchanged across runs.
+//
+// Format (header included):
+//   id,submission_us,duration_us,assigned_memory,max_memory_usage,sgx
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/job.hpp"
+
+namespace sgxo::trace {
+
+void write_csv(std::ostream& os, const std::vector<TraceJob>& jobs);
+void write_csv_file(const std::string& path, const std::vector<TraceJob>& jobs);
+
+/// Throws DomainError on malformed input.
+[[nodiscard]] std::vector<TraceJob> read_csv(std::istream& is);
+[[nodiscard]] std::vector<TraceJob> read_csv_file(const std::string& path);
+
+}  // namespace sgxo::trace

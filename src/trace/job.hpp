@@ -1,0 +1,37 @@
+// One job extracted from the (synthetic) Google Borg trace, carrying the
+// four fields the paper uses (§VI-B): submission time, duration, assigned
+// memory and maximal memory usage. Memory is a fraction of the largest
+// machine's capacity, exactly as the public trace reports it — scaling to
+// concrete byte amounts happens later (scaler.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace sgxo::trace {
+
+struct TraceJob {
+  std::uint64_t id = 0;
+  /// Offset from the start of the replayed slice.
+  Duration submission{};
+  /// Useful runtime; replayed exactly (§VI-B).
+  Duration duration{};
+  /// Memory advertised at submission (fraction of the reference machine).
+  double assigned_memory = 0.0;
+  /// Memory the job actually allocates (fraction). May exceed
+  /// assigned_memory: 44 of the 663 evaluation jobs do.
+  double max_memory_usage = 0.0;
+  /// Designated SGX-enabled (the trace itself has no SGX jobs; the paper
+  /// arbitrarily designates a configurable percentage).
+  bool sgx = false;
+
+  /// True for jobs that try to allocate more than they advertised — the
+  /// jobs killed at launch when limits are enforced (§VI-F).
+  [[nodiscard]] bool over_allocates() const {
+    return max_memory_usage > assigned_memory;
+  }
+};
+
+}  // namespace sgxo::trace

@@ -1,0 +1,24 @@
+#include "trace/replayer.hpp"
+
+#include "common/error.hpp"
+
+namespace sgxo::trace {
+
+Replayer::Replayer(sim::Simulation& sim, orch::ApiServer& api,
+                   PodFactory factory)
+    : sim_(&sim), api_(&api), factory_(std::move(factory)) {
+  SGXO_CHECK_MSG(static_cast<bool>(factory_), "replayer needs a pod factory");
+}
+
+void Replayer::schedule(const std::vector<TraceJob>& jobs) {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const TraceJob job = jobs[i];
+    const std::size_t index = i;
+    sim_->schedule_after(job.submission, [this, job, index] {
+      api_->submit(factory_(job, index));
+    });
+    ++scheduled_;
+  }
+}
+
+}  // namespace sgxo::trace

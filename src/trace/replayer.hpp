@@ -1,0 +1,37 @@
+// Trace replayer: submits one pod per trace job at the job's submission
+// offset, preserving the original arrival pattern (§VI-B). Pod construction
+// is delegated to a factory so the replayer stays independent of the
+// concrete workload (STRESS-SGX stressors, malicious containers, ...).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cluster/pod.hpp"
+#include "orch/api_server.hpp"
+#include "sim/simulation.hpp"
+#include "trace/job.hpp"
+
+namespace sgxo::trace {
+
+class Replayer {
+ public:
+  using PodFactory =
+      std::function<cluster::PodSpec(const TraceJob&, std::size_t index)>;
+
+  Replayer(sim::Simulation& sim, orch::ApiServer& api, PodFactory factory);
+
+  /// Schedules the submission of every job, offset from the current
+  /// virtual time. Call before running the simulation.
+  void schedule(const std::vector<TraceJob>& jobs);
+
+  [[nodiscard]] std::size_t scheduled_jobs() const { return scheduled_; }
+
+ private:
+  sim::Simulation* sim_;
+  orch::ApiServer* api_;
+  PodFactory factory_;
+  std::size_t scheduled_ = 0;
+};
+
+}  // namespace sgxo::trace

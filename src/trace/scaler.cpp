@@ -1,0 +1,27 @@
+#include "trace/scaler.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sgxo::trace {
+
+namespace {
+
+Bytes scaled(double fraction, Bytes base) {
+  SGXO_CHECK_MSG(fraction >= 0.0, "negative memory fraction");
+  return Bytes{static_cast<std::uint64_t>(
+      std::llround(fraction * static_cast<double>(base.count())))};
+}
+
+}  // namespace
+
+ScaledJob scale_job(const TraceJob& job, const ScalingConfig& config) {
+  const Bytes base = job.sgx ? config.sgx_base : config.standard_base;
+  ScaledJob scaled_job;
+  scaled_job.advertised = scaled(job.assigned_memory, base);
+  scaled_job.actual = scaled(job.max_memory_usage, base);
+  return scaled_job;
+}
+
+}  // namespace sgxo::trace

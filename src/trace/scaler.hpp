@@ -1,0 +1,33 @@
+// Memory scaling of trace jobs onto the evaluation cluster (paper §VI-B).
+//
+// The public trace reports memory as a fraction of the largest machine in
+// Google's cluster, without absolute values. The paper materialises it as:
+//   * SGX jobs:      fraction × 93.5 MiB (the total usable EPC);
+//   * standard jobs: fraction × 32 GiB  (power of two nearest the average
+//                    machine memory of the testbed).
+#pragma once
+
+#include "common/units.hpp"
+#include "trace/job.hpp"
+
+namespace sgxo::trace {
+
+struct ScalingConfig {
+  /// Multiplier for SGX jobs' fractions — the usable EPC size.
+  Bytes sgx_base = mib(93.5);
+  /// Multiplier for standard jobs' fractions.
+  Bytes standard_base = Bytes{32ULL << 30};
+};
+
+/// Concrete byte amounts for one job under a scaling configuration.
+struct ScaledJob {
+  /// Advertised to Kubernetes in requests/limits.
+  Bytes advertised{};
+  /// What the stressor will actually allocate.
+  Bytes actual{};
+};
+
+[[nodiscard]] ScaledJob scale_job(const TraceJob& job,
+                                  const ScalingConfig& config);
+
+}  // namespace sgxo::trace

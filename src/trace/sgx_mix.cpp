@@ -1,0 +1,31 @@
+#include "trace/sgx_mix.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sgxo::trace {
+
+void designate_sgx(std::vector<TraceJob>& jobs, double fraction, Rng& rng) {
+  SGXO_CHECK_MSG(fraction >= 0.0 && fraction <= 1.0,
+                 "SGX fraction must be within [0, 1]");
+  for (TraceJob& job : jobs) {
+    job.sgx = false;
+  }
+  const auto count = static_cast<std::size_t>(
+      fraction * static_cast<double>(jobs.size()));
+  std::vector<std::size_t> indices(jobs.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng.shuffle(indices);
+  for (std::size_t k = 0; k < count; ++k) {
+    jobs[indices[k]].sgx = true;
+  }
+}
+
+std::size_t sgx_count(const std::vector<TraceJob>& jobs) {
+  return static_cast<std::size_t>(
+      std::count_if(jobs.begin(), jobs.end(),
+                    [](const TraceJob& job) { return job.sgx; }));
+}
+
+}  // namespace sgxo::trace

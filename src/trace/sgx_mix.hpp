@@ -1,0 +1,20 @@
+// SGX designation: the public trace has no SGX jobs, so the paper
+// "arbitrarily designates a subset of trace jobs as SGX-enabled",
+// sweeping the fraction from 0 % to 100 % in 25 % steps (§VI-B).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trace/job.hpp"
+
+namespace sgxo::trace {
+
+/// Marks floor(fraction * jobs.size()) jobs as SGX-enabled, chosen
+/// uniformly (deterministic in the rng state). fraction in [0, 1].
+void designate_sgx(std::vector<TraceJob>& jobs, double fraction, Rng& rng);
+
+/// Number of SGX-designated jobs.
+[[nodiscard]] std::size_t sgx_count(const std::vector<TraceJob>& jobs);
+
+}  // namespace sgxo::trace

@@ -1,0 +1,114 @@
+#include "tsdb/model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sgxo::tsdb {
+
+std::string tags_key(const Tags& tags) {
+  std::string key;
+  for (const auto& [k, v] : tags) {
+    if (!key.empty()) key += ',';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  return key;
+}
+
+void Series::append(Point p) {
+  if (points_.empty() || points_.back().time <= p.time) {
+    points_.push_back(p);
+    return;
+  }
+  const auto pos = std::upper_bound(
+      points_.begin(), points_.end(), p,
+      [](const Point& a, const Point& b) { return a.time < b.time; });
+  points_.insert(pos, p);
+}
+
+std::vector<Point> Series::in_window(TimePoint lo, TimePoint hi) const {
+  const auto first = std::lower_bound(
+      points_.begin(), points_.end(), lo,
+      [](const Point& p, TimePoint t) { return p.time < t; });
+  const auto last = std::upper_bound(
+      points_.begin(), points_.end(), hi,
+      [](TimePoint t, const Point& p) { return t < p.time; });
+  return {first, last};
+}
+
+std::size_t Series::drop_before(TimePoint horizon) {
+  const auto first_kept = std::lower_bound(
+      points_.begin(), points_.end(), horizon,
+      [](const Point& p, TimePoint t) { return p.time < t; });
+  const auto dropped = static_cast<std::size_t>(first_kept - points_.begin());
+  points_.erase(points_.begin(), first_kept);
+  return dropped;
+}
+
+Series& Measurement::series_for(const Tags& tags) {
+  const std::string key = tags_key(tags);
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    it = series_.emplace(key, Series{tags}).first;
+  }
+  return it->second;
+}
+
+const Series* Measurement::find_series(const Tags& tags) const {
+  const auto it = series_.find(tags_key(tags));
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::size_t Measurement::drop_before(TimePoint horizon) {
+  std::size_t dropped = 0;
+  for (auto& [key, s] : series_) {
+    dropped += s.drop_before(horizon);
+  }
+  return dropped;
+}
+
+void Database::write(const std::string& measurement, const Tags& tags,
+                     TimePoint time, double value) {
+  SGXO_CHECK_MSG(!measurement.empty(), "measurement name must not be empty");
+  auto it = measurements_.find(measurement);
+  if (it == measurements_.end()) {
+    it = measurements_.emplace(measurement, Measurement{measurement}).first;
+  }
+  it->second.series_for(tags).append(Point{time, value});
+}
+
+const Measurement* Database::find(const std::string& name) const {
+  const auto it = measurements_.find(name);
+  return it == measurements_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Database::measurement_names() const {
+  std::vector<std::string> names;
+  names.reserve(measurements_.size());
+  for (const auto& [name, m] : measurements_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::size_t Database::total_points() const {
+  std::size_t total = 0;
+  for (const auto& [name, m] : measurements_) {
+    m.for_each_series([&](const Series& s) { total += s.size(); });
+  }
+  return total;
+}
+
+std::size_t Database::enforce_retention(TimePoint now, Duration retention) {
+  SGXO_CHECK(retention > Duration{});
+  const TimePoint horizon = now - retention;
+  std::size_t dropped = 0;
+  for (auto& [name, m] : measurements_) {
+    dropped += m.drop_before(horizon);
+  }
+  return dropped;
+}
+
+}  // namespace sgxo::tsdb

@@ -1,0 +1,104 @@
+// In-memory time-series store modelled on InfluxDB's data model:
+// measurement → (tag set ⇒ series) → time-ordered points.
+//
+// Heapster pushes per-pod regular-memory samples and the SGX probe pushes
+// per-pod EPC samples into one Database; the scheduler then runs
+// sliding-window queries (paper Listing 1) against it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace sgxo::tsdb {
+
+/// Tag set. std::map keeps a canonical order, so equal tag sets compare
+/// equal and can key series directly.
+using Tags = std::map<std::string, std::string>;
+
+/// Canonical "k1=v1,k2=v2" rendering (used for diagnostics and as a stable
+/// grouping key).
+[[nodiscard]] std::string tags_key(const Tags& tags);
+
+struct Point {
+  TimePoint time;
+  double value = 0.0;
+};
+
+/// One series: a unique tag set within a measurement plus its points.
+class Series {
+ public:
+  explicit Series(Tags tags) : tags_(std::move(tags)) {}
+
+  [[nodiscard]] const Tags& tags() const { return tags_; }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  /// Appends a point. Out-of-order writes are accepted (probes from
+  /// different nodes are not synchronised) and kept sorted by time.
+  void append(Point p);
+
+  /// Points with lo <= time <= hi.
+  [[nodiscard]] std::vector<Point> in_window(TimePoint lo, TimePoint hi) const;
+
+  /// Drops points strictly older than `horizon`. Returns how many.
+  std::size_t drop_before(TimePoint horizon);
+
+ private:
+  Tags tags_;
+  std::vector<Point> points_;  // sorted by time (stable for equal times)
+};
+
+/// A named measurement (e.g. "sgx/epc", "memory/usage") holding its series.
+class Measurement {
+ public:
+  explicit Measurement(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t series_count() const { return series_.size(); }
+
+  Series& series_for(const Tags& tags);
+  [[nodiscard]] const Series* find_series(const Tags& tags) const;
+
+  /// Visits every series (const).
+  template <typename F>
+  void for_each_series(F&& f) const {
+    for (const auto& [key, s] : series_) {
+      f(s);
+    }
+  }
+
+  std::size_t drop_before(TimePoint horizon);
+
+ private:
+  std::string name_;
+  std::map<std::string, Series> series_;  // keyed by tags_key
+};
+
+/// The database: measurements by name, plus an optional retention horizon.
+class Database {
+ public:
+  Database() = default;
+
+  /// Inserts one sample.
+  void write(const std::string& measurement, const Tags& tags, TimePoint time,
+             double value);
+
+  [[nodiscard]] const Measurement* find(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> measurement_names() const;
+  [[nodiscard]] std::size_t total_points() const;
+
+  /// Deletes all points older than now - retention across all measurements.
+  /// Returns the number of points dropped. The monitoring pipeline calls
+  /// this periodically so long replays do not grow without bound.
+  std::size_t enforce_retention(TimePoint now, Duration retention);
+
+ private:
+  std::map<std::string, Measurement> measurements_;
+};
+
+}  // namespace sgxo::tsdb

@@ -1,0 +1,241 @@
+#include "tsdb/ql/executor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/error.hpp"
+#include "tsdb/ql/parser.hpp"
+
+namespace sgxo::tsdb::ql {
+
+double Row::field(const std::string& name) const {
+  const auto it = fields.find(name);
+  SGXO_CHECK_MSG(it != fields.end(), "missing field '" + name + "'");
+  return it->second;
+}
+
+double ResultSet::sum(const std::string& field) const {
+  double total = 0.0;
+  for (const Row& row : rows) {
+    const auto it = row.fields.find(field);
+    if (it != row.fields.end()) total += it->second;
+  }
+  return total;
+}
+
+double ResultSet::value_for(const std::string& tag, const std::string& value,
+                            const std::string& field, double fallback) const {
+  for (const Row& row : rows) {
+    const auto tag_it = row.tags.find(tag);
+    if (tag_it == row.tags.end() || tag_it->second != value) continue;
+    const auto field_it = row.fields.find(field);
+    if (field_it != row.fields.end()) return field_it->second;
+  }
+  return fallback;
+}
+
+namespace {
+
+/// Materialises the source rows for a statement.
+std::vector<Row> source_rows(const SelectStmt& stmt, const Database& db,
+                             TimePoint now) {
+  if (const auto* name = std::get_if<std::string>(&stmt.source)) {
+    std::vector<Row> rows;
+    const Measurement* measurement = db.find(*name);
+    if (measurement == nullptr) return rows;  // unknown measurement = empty
+    measurement->for_each_series([&](const Series& series) {
+      for (const Point& p : series.points()) {
+        Row row;
+        row.tags = series.tags();
+        row.time = p.time;
+        row.fields.emplace("value", p.value);
+        rows.push_back(std::move(row));
+      }
+    });
+    return rows;
+  }
+  const auto& sub = std::get<std::unique_ptr<SelectStmt>>(stmt.source);
+  return execute(*sub, db, now).rows;
+}
+
+bool row_matches(const Row& row, const Predicate& predicate, TimePoint now) {
+  if (const auto* fp = std::get_if<FieldPredicate>(&predicate)) {
+    const auto it = row.fields.find(fp->field);
+    if (it == row.fields.end()) return false;
+    return compare(it->second, fp->op, fp->literal);
+  }
+  const auto& tp = std::get<TimePredicate>(predicate);
+  const std::int64_t bound_us =
+      tp.relative_to_now ? now.micros_since_epoch() + tp.offset_us
+                         : tp.offset_us;
+  return compare(static_cast<double>(row.time.micros_since_epoch()), tp.op,
+                 static_cast<double>(bound_us));
+}
+
+/// Aggregation state for one (group, projection) cell.
+class Accumulator {
+ public:
+  explicit Accumulator(Aggregate agg) : agg_(agg) {}
+
+  void add(double v, TimePoint t) {
+    ++count_;
+    sum_ += v;
+    if (count_ == 1) {
+      min_ = max_ = v;
+      first_ = last_ = v;
+      first_time_ = last_time_ = t;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+      if (t < first_time_) {
+        first_time_ = t;
+        first_ = v;
+      }
+      if (t >= last_time_) {
+        last_time_ = t;
+        last_ = v;
+      }
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  [[nodiscard]] double result() const {
+    switch (agg_) {
+      case Aggregate::kMax: return max_;
+      case Aggregate::kMin: return min_;
+      case Aggregate::kSum: return sum_;
+      case Aggregate::kMean:
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+      case Aggregate::kCount: return static_cast<double>(count_);
+      case Aggregate::kLast: return last_;
+      case Aggregate::kFirst: return first_;
+    }
+    return 0.0;
+  }
+
+ private:
+  Aggregate agg_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double first_ = 0.0;
+  double last_ = 0.0;
+  TimePoint first_time_;
+  TimePoint last_time_;
+};
+
+}  // namespace
+
+ResultSet execute(const SelectStmt& stmt, const Database& db, TimePoint now) {
+  std::vector<Row> rows = source_rows(stmt, db, now);
+
+  // WHERE: conjunction of predicates.
+  if (!stmt.where.empty()) {
+    std::erase_if(rows, [&](const Row& row) {
+      return !std::all_of(stmt.where.begin(), stmt.where.end(),
+                          [&](const Predicate& p) {
+                            return row_matches(row, p, now);
+                          });
+    });
+  }
+
+  // Group rows by the projection of their tags onto the GROUP BY list.
+  // Rows lacking a grouped tag contribute an empty value for it (InfluxQL
+  // behaviour for missing tags).
+  struct Group {
+    Tags tags;
+    TimePoint min_time{TimePoint::from_micros(
+        std::numeric_limits<std::int64_t>::max())};
+    std::vector<Accumulator> cells;
+  };
+  std::map<std::string, Group> groups;
+
+  const bool time_buckets = stmt.group_by_time > Duration{};
+  const std::int64_t interval_us = stmt.group_by_time.micros_count();
+
+  for (const Row& row : rows) {
+    Tags key;
+    for (const std::string& tag : stmt.group_by) {
+      const auto it = row.tags.find(tag);
+      key.emplace(tag, it == row.tags.end() ? "" : it->second);
+    }
+    std::string key_str = tags_key(key);
+    TimePoint window_start = row.time;
+    if (time_buckets) {
+      // Epoch-aligned windows (floor division; virtual time is never
+      // negative in practice, but guard anyway).
+      std::int64_t bucket = row.time.micros_since_epoch() / interval_us;
+      if (row.time.micros_since_epoch() < 0 &&
+          row.time.micros_since_epoch() % interval_us != 0) {
+        --bucket;
+      }
+      window_start = TimePoint::from_micros(bucket * interval_us);
+      char suffix[32];
+      std::snprintf(suffix, sizeof suffix, "|t%020lld",
+                    static_cast<long long>(bucket));
+      key_str += suffix;
+    }
+    auto it = groups.find(key_str);
+    if (it == groups.end()) {
+      Group group;
+      group.tags = std::move(key);
+      group.cells.reserve(stmt.projections.size());
+      for (const Projection& proj : stmt.projections) {
+        group.cells.emplace_back(proj.agg);
+      }
+      it = groups.emplace(std::move(key_str), std::move(group)).first;
+    }
+    Group& group = it->second;
+    group.min_time =
+        time_buckets ? window_start : std::min(group.min_time, row.time);
+    for (std::size_t c = 0; c < stmt.projections.size(); ++c) {
+      const auto field_it = row.fields.find(stmt.projections[c].field);
+      if (field_it != row.fields.end()) {
+        group.cells[c].add(field_it->second, row.time);
+      }
+    }
+  }
+
+  ResultSet result;
+  result.rows.reserve(groups.size());
+  for (auto& [key, group] : groups) {
+    Row out;
+    out.tags = std::move(group.tags);
+    out.time = group.min_time;
+    bool any = false;
+    for (std::size_t c = 0; c < stmt.projections.size(); ++c) {
+      if (!group.cells[c].empty()) {
+        out.fields.emplace(stmt.projections[c].alias, group.cells[c].result());
+        any = true;
+      }
+    }
+    if (any) {
+      result.rows.push_back(std::move(out));
+    }
+  }
+
+  // OFFSET/LIMIT over the deterministic (tags, time) order produced by
+  // the group map.
+  if (stmt.offset > 0) {
+    if (stmt.offset >= result.rows.size()) {
+      result.rows.clear();
+    } else {
+      result.rows.erase(result.rows.begin(),
+                        result.rows.begin() +
+                            static_cast<std::ptrdiff_t>(stmt.offset));
+    }
+  }
+  if (stmt.limit > 0 && result.rows.size() > stmt.limit) {
+    result.rows.resize(stmt.limit);
+  }
+  return result;
+}
+
+ResultSet query(const std::string& text, const Database& db, TimePoint now) {
+  return execute(parse(text), db, now);
+}
+
+}  // namespace sgxo::tsdb::ql

@@ -1,0 +1,53 @@
+// Executor for parsed InfluxQL-subset statements against a Database.
+//
+// Rows are the uniform exchange format between query stages: reading a
+// measurement produces one row per point (fields = {"value": v}, tags from
+// the series); executing a subquery produces one row per group with the
+// projected fields. A WHERE clause filters rows; GROUP BY + projections
+// aggregate them.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "tsdb/model.hpp"
+#include "tsdb/ql/ast.hpp"
+
+namespace sgxo::tsdb::ql {
+
+struct Row {
+  Tags tags;
+  TimePoint time;
+  std::map<std::string, double> fields;
+
+  [[nodiscard]] bool has_field(const std::string& name) const {
+    return fields.find(name) != fields.end();
+  }
+  [[nodiscard]] double field(const std::string& name) const;
+};
+
+struct ResultSet {
+  std::vector<Row> rows;
+
+  /// Sum of the given field across rows (0 for empty/missing).
+  [[nodiscard]] double sum(const std::string& field) const;
+  /// Value of `field` in the row whose tags contain {tag = value};
+  /// `fallback` when absent.
+  [[nodiscard]] double value_for(const std::string& tag,
+                                 const std::string& value,
+                                 const std::string& field,
+                                 double fallback = 0.0) const;
+};
+
+/// Runs `stmt` against `db`, with `now` supplying the now() anchor for
+/// relative time predicates (the scheduler passes the virtual clock).
+[[nodiscard]] ResultSet execute(const SelectStmt& stmt, const Database& db,
+                                TimePoint now);
+
+/// Convenience: parse + execute.
+[[nodiscard]] ResultSet query(const std::string& text, const Database& db,
+                              TimePoint now);
+
+}  // namespace sgxo::tsdb::ql

@@ -1,0 +1,266 @@
+#include "tsdb/ql/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+
+namespace sgxo::tsdb::ql {
+
+namespace {
+
+std::string lower(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  std::transform(s.begin(), s.end(), std::back_inserter(out),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  SelectStmt parse_statement() {
+    SelectStmt stmt = parse_select();
+    expect(TokenKind::kEnd);
+    return stmt;
+  }
+
+ private:
+  [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+
+  Token advance() { return tokens_[pos_++]; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw QueryError{"query error at offset " + std::to_string(peek().offset) +
+                     ": " + message + " (got " + to_string(peek().kind) +
+                     (peek().text.empty() ? "" : " '" + peek().text + "'") + ")"};
+  }
+
+  Token expect(TokenKind kind) {
+    if (peek().kind != kind) {
+      fail(std::string("expected ") + to_string(kind));
+    }
+    return advance();
+  }
+
+  /// Consumes an identifier matching `keyword` (case-insensitive).
+  Token expect_keyword(const char* keyword) {
+    if (!is_keyword(keyword)) {
+      fail(std::string("expected keyword '") + keyword + "'");
+    }
+    return advance();
+  }
+
+  [[nodiscard]] bool is_keyword(const char* keyword) const {
+    return peek().kind == TokenKind::kIdentifier &&
+           lower(peek().text) == keyword;
+  }
+
+  bool accept_keyword(const char* keyword) {
+    if (is_keyword(keyword)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  SelectStmt parse_select() {
+    expect_keyword("select");
+    SelectStmt stmt;
+    stmt.projections.push_back(parse_projection());
+    while (peek().kind == TokenKind::kComma) {
+      advance();
+      stmt.projections.push_back(parse_projection());
+    }
+    expect_keyword("from");
+    stmt.source = parse_source();
+    if (accept_keyword("where")) {
+      stmt.where.push_back(parse_predicate());
+      while (accept_keyword("and")) {
+        stmt.where.push_back(parse_predicate());
+      }
+    }
+    if (accept_keyword("group")) {
+      expect_keyword("by");
+      parse_group_term(stmt);
+      while (peek().kind == TokenKind::kComma) {
+        advance();
+        parse_group_term(stmt);
+      }
+    }
+    if (accept_keyword("limit")) {
+      stmt.limit = parse_row_count("LIMIT");
+    }
+    if (accept_keyword("offset")) {
+      stmt.offset = parse_row_count("OFFSET");
+    }
+    return stmt;
+  }
+
+  std::size_t parse_row_count(const char* clause) {
+    const Token tok = expect(TokenKind::kNumber);
+    const double value = tok.number;
+    if (value < 1.0 || value != static_cast<double>(
+                                    static_cast<std::size_t>(value))) {
+      throw QueryError{"query error at offset " + std::to_string(tok.offset) +
+                       ": " + clause + " needs a positive integer"};
+    }
+    return static_cast<std::size_t>(value);
+  }
+
+  /// One GROUP BY term: a tag name or time(<interval>).
+  void parse_group_term(SelectStmt& stmt) {
+    if (is_keyword("time")) {
+      const Token time_tok = advance();
+      expect(TokenKind::kLParen);
+      const Token interval = expect(TokenKind::kDuration);
+      expect(TokenKind::kRParen);
+      if (stmt.group_by_time > Duration{}) {
+        throw QueryError{"query error at offset " +
+                         std::to_string(time_tok.offset) +
+                         ": GROUP BY time() given twice"};
+      }
+      if (interval.duration_us <= 0) {
+        throw QueryError{"query error at offset " +
+                         std::to_string(interval.offset) +
+                         ": GROUP BY time() interval must be positive"};
+      }
+      stmt.group_by_time = Duration::micros(interval.duration_us);
+      return;
+    }
+    stmt.group_by.push_back(parse_tag_name());
+  }
+
+  Projection parse_projection() {
+    const Token agg_tok = expect(TokenKind::kIdentifier);
+    const auto agg = aggregate_from(agg_tok.text);
+    if (!agg) {
+      throw QueryError{"query error at offset " +
+                       std::to_string(agg_tok.offset) +
+                       ": unknown aggregate function '" + agg_tok.text + "'"};
+    }
+    Projection proj;
+    proj.agg = *agg;
+    expect(TokenKind::kLParen);
+    if (peek().kind == TokenKind::kStar) {
+      // COUNT(*) counts rows regardless of field; model as field "value".
+      advance();
+      proj.field = "value";
+    } else if (peek().kind == TokenKind::kQuotedIdent ||
+               peek().kind == TokenKind::kIdentifier) {
+      proj.field = advance().text;
+    } else {
+      fail("expected field name");
+    }
+    expect(TokenKind::kRParen);
+    if (accept_keyword("as")) {
+      if (peek().kind == TokenKind::kIdentifier ||
+          peek().kind == TokenKind::kQuotedIdent) {
+        proj.alias = advance().text;
+      } else {
+        fail("expected alias after AS");
+      }
+    } else {
+      proj.alias = to_string(proj.agg);
+    }
+    return proj;
+  }
+
+  Source parse_source() {
+    if (peek().kind == TokenKind::kLParen) {
+      advance();
+      auto sub = std::make_unique<SelectStmt>(parse_select());
+      expect(TokenKind::kRParen);
+      return Source{std::move(sub)};
+    }
+    if (peek().kind == TokenKind::kQuotedIdent ||
+        peek().kind == TokenKind::kIdentifier) {
+      return Source{advance().text};
+    }
+    fail("expected measurement name or subquery");
+  }
+
+  std::string parse_tag_name() {
+    if (peek().kind == TokenKind::kIdentifier ||
+        peek().kind == TokenKind::kQuotedIdent) {
+      return advance().text;
+    }
+    fail("expected tag name");
+  }
+
+  CompareOp parse_compare_op() {
+    switch (peek().kind) {
+      case TokenKind::kEq: advance(); return CompareOp::kEq;
+      case TokenKind::kNeq: advance(); return CompareOp::kNeq;
+      case TokenKind::kLt: advance(); return CompareOp::kLt;
+      case TokenKind::kLte: advance(); return CompareOp::kLte;
+      case TokenKind::kGt: advance(); return CompareOp::kGt;
+      case TokenKind::kGte: advance(); return CompareOp::kGte;
+      default: fail("expected comparison operator");
+    }
+  }
+
+  Predicate parse_predicate() {
+    if (peek().kind != TokenKind::kIdentifier &&
+        peek().kind != TokenKind::kQuotedIdent) {
+      fail("expected field or 'time' on left of predicate");
+    }
+    const Token lhs = advance();
+    const CompareOp op = parse_compare_op();
+    if (lower(lhs.text) == "time") {
+      return parse_time_rhs(op);
+    }
+    FieldPredicate pred;
+    pred.field = lhs.text;
+    pred.op = op;
+    if (peek().kind == TokenKind::kMinus) {
+      advance();
+      pred.literal = -expect(TokenKind::kNumber).number;
+    } else {
+      pred.literal = expect(TokenKind::kNumber).number;
+    }
+    return pred;
+  }
+
+  Predicate parse_time_rhs(CompareOp op) {
+    TimePredicate pred;
+    pred.op = op;
+    if (is_keyword("now")) {
+      advance();
+      expect(TokenKind::kLParen);
+      expect(TokenKind::kRParen);
+      pred.relative_to_now = true;
+      pred.offset_us = 0;
+      if (peek().kind == TokenKind::kMinus || peek().kind == TokenKind::kPlus) {
+        const bool negative = advance().kind == TokenKind::kMinus;
+        const Token dur = expect(TokenKind::kDuration);
+        pred.offset_us = negative ? -dur.duration_us : dur.duration_us;
+      }
+      return pred;
+    }
+    if (peek().kind == TokenKind::kNumber) {
+      pred.relative_to_now = false;
+      pred.offset_us = static_cast<std::int64_t>(advance().number);
+      return pred;
+    }
+    if (peek().kind == TokenKind::kDuration) {
+      pred.relative_to_now = false;
+      pred.offset_us = advance().duration_us;
+      return pred;
+    }
+    fail("expected now() or absolute time on right of time predicate");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+SelectStmt parse(const std::string& query) {
+  Parser parser{lex(query)};
+  return parser.parse_statement();
+}
+
+}  // namespace sgxo::tsdb::ql

@@ -1,0 +1,14 @@
+// Recursive-descent parser for the InfluxQL subset (see ast.hpp).
+#pragma once
+
+#include <string>
+
+#include "tsdb/ql/ast.hpp"
+#include "tsdb/ql/lexer.hpp"
+
+namespace sgxo::tsdb::ql {
+
+/// Parses one SELECT statement. Throws QueryError on malformed input.
+[[nodiscard]] SelectStmt parse(const std::string& query);
+
+}  // namespace sgxo::tsdb::ql

@@ -1,0 +1,106 @@
+// STRESS-SGX (paper §VI-C, reference [44]): the workload the evaluation
+// actually runs — a fork of STRESS-NG where "normal jobs use the original
+// virtual memory stressor" and "SGX-enabled jobs use the topical EPC
+// stressor", parameterised "to allocate the right amount of memory for
+// every job".
+//
+// This module models the stressor processes themselves: a stress-ng-style
+// command line is parsed into a stress plan; running the plan allocates
+// the requested memory (plain or enclave) and spins bogo-ops for the
+// requested duration. The EPC stressor's op rate collapses under EPC
+// paging — the application-level face of the 1000× degradation the
+// scheduler exists to avoid.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "sgx/driver.hpp"
+#include "sgx/perf_model.hpp"
+
+namespace sgxo::workload {
+
+class StressArgError : public DomainError {
+ public:
+  using DomainError::DomainError;
+};
+
+enum class StressorKind {
+  kVm,   // --vm: anonymous-memory stressor (STRESS-NG original)
+  kEpc,  // --epc: enclave-memory stressor (the STRESS-SGX addition)
+};
+
+[[nodiscard]] const char* to_string(StressorKind kind);
+
+/// One stressor group from the command line: N workers of a kind with a
+/// per-worker byte amount.
+struct StressorSpec {
+  StressorKind kind = StressorKind::kVm;
+  int workers = 1;
+  Bytes bytes{};
+};
+
+/// A parsed stress-sgx invocation.
+struct StressPlan {
+  std::vector<StressorSpec> stressors;
+  /// Zero = run until stopped.
+  Duration timeout{};
+
+  [[nodiscard]] Bytes total_epc_bytes() const;
+  [[nodiscard]] Bytes total_vm_bytes() const;
+};
+
+/// Parses the stress-ng-style command line used by the paper's images:
+///
+///   stress-sgx --vm 2 --vm-bytes 1g --timeout 60s
+///   stress-sgx --epc 1 --epc-bytes 48m --timeout 300s
+///
+/// Sizes accept k/m/g suffixes (binary units, as stress-ng). Throws
+/// StressArgError on malformed input.
+[[nodiscard]] StressPlan parse_stress_args(
+    const std::vector<std::string>& args);
+
+/// Outcome of one executed stressor worker.
+struct StressorReport {
+  StressorKind kind = StressorKind::kVm;
+  /// Iterations completed ("bogo-ops" in stress-ng terms).
+  std::uint64_t bogo_ops = 0;
+  /// Virtual time the worker ran.
+  Duration elapsed{};
+  /// Memory startup latency (enclave build for EPC workers).
+  Duration startup{};
+
+  [[nodiscard]] double ops_per_second() const {
+    const double s = elapsed.as_seconds();
+    return s <= 0.0 ? 0.0 : static_cast<double>(bogo_ops) / s;
+  }
+};
+
+/// Executes a stress plan against a node's SGX driver (EPC workers) and
+/// plain memory (vm workers), in virtual time. `pid`/`cgroup` identify
+/// the containerised process to the driver. The run is synchronous: it
+/// models what the container's process would have done over the plan's
+/// timeout.
+class StressRunner {
+ public:
+  StressRunner(sgx::Driver& driver, const sgx::PerfModel& perf)
+      : driver_(&driver), perf_(&perf) {}
+
+  /// Runs every worker of the plan; the plan must have a positive
+  /// timeout. EPC workers may be denied by limit enforcement — the
+  /// exception propagates (the container dies, as on the real system).
+  [[nodiscard]] std::vector<StressorReport> run(const StressPlan& plan,
+                                                sgx::Pid pid,
+                                                const sgx::CgroupPath& cgroup);
+
+ private:
+  sgx::Driver* driver_;
+  const sgx::PerfModel* perf_;
+};
+
+}  // namespace sgxo::workload

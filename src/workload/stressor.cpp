@@ -1,0 +1,48 @@
+#include "workload/stressor.hpp"
+
+namespace sgxo::workload {
+
+std::string stressor_pod_name(const trace::TraceJob& job) {
+  return "job-" + std::to_string(job.id);
+}
+
+cluster::PodSpec stressor_pod(const trace::TraceJob& job,
+                              const trace::ScalingConfig& scaling,
+                              const std::string& scheduler_name,
+                              double initial_usage_fraction) {
+  const trace::ScaledJob scaled = trace::scale_job(job, scaling);
+  const bool dynamic = initial_usage_fraction < 1.0;
+
+  cluster::ResourceAmounts request;
+  cluster::ResourceAmounts limit;
+  if (job.sgx) {
+    // SGX jobs advertise EPC pages (the device plugin's resource); at least
+    // one page, or the pod would not be recognised as SGX-enabled.
+    Pages peak_pages = Pages::ceil_from(scaled.advertised);
+    if (peak_pages.count() == 0) peak_pages = Pages{1};
+    Pages request_pages = peak_pages;
+    if (dynamic) {
+      // SGX 2 world: request the typical footprint, limit the peak.
+      request_pages = Pages::ceil_from(Bytes{static_cast<std::uint64_t>(
+          initial_usage_fraction *
+          static_cast<double>(scaled.advertised.count()))});
+      if (request_pages.count() == 0) request_pages = Pages{1};
+    }
+    request.epc_pages = request_pages;
+    limit.epc_pages = peak_pages;
+  } else {
+    request.memory = scaled.advertised;
+    limit.memory = scaled.advertised;
+  }
+
+  cluster::PodBehavior behavior;
+  behavior.sgx = job.sgx;
+  behavior.actual_usage = scaled.actual;
+  behavior.duration = job.duration;
+  behavior.initial_usage_fraction = dynamic ? initial_usage_fraction : 1.0;
+
+  return cluster::make_stressor_pod(stressor_pod_name(job), request, limit,
+                                    behavior, scheduler_name);
+}
+
+}  // namespace sgxo::workload

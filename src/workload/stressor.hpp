@@ -1,0 +1,37 @@
+// STRESS-SGX job materialisation (paper §VI-C).
+//
+// Trace jobs are run as containers executing STRESS-SGX, a fork of
+// STRESS-NG: standard jobs use the original virtual-memory stressor, SGX
+// jobs use the EPC stressor. The advertised request/limit comes from the
+// trace's *assigned memory*; the stressor actually allocates the trace's
+// *maximal memory usage* — reproducing real-world divergence between what
+// users declare and what their containers do.
+#pragma once
+
+#include <string>
+
+#include "cluster/pod.hpp"
+#include "trace/job.hpp"
+#include "trace/scaler.hpp"
+
+namespace sgxo::workload {
+
+/// Builds the pod for one trace job. `scheduler_name` routes the pod to a
+/// specific scheduler instance (empty = cluster default).
+///
+/// `initial_usage_fraction` < 1 builds an SGX 2 dynamic-memory variant of
+/// the stressor (§VI-G): the enclave commits only that fraction of its
+/// peak at build time and grows/shrinks during execution. In that world
+/// users declare their *typical* footprint as the request (so the
+/// scheduler can pack by it) and their peak as the limit (so the driver's
+/// growth hook still bounds them). On SGX 1 nodes such pods fall back to
+/// committing the peak at build time.
+[[nodiscard]] cluster::PodSpec stressor_pod(
+    const trace::TraceJob& job, const trace::ScalingConfig& scaling,
+    const std::string& scheduler_name = "",
+    double initial_usage_fraction = 1.0);
+
+/// Deterministic pod name for a trace job.
+[[nodiscard]] std::string stressor_pod_name(const trace::TraceJob& job);
+
+}  // namespace sgxo::workload

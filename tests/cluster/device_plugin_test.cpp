@@ -1,0 +1,90 @@
+#include "cluster/device_plugin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sgxo::cluster {
+namespace {
+
+sgx::Driver make_driver() {
+  sgx::DriverConfig config;
+  return sgx::Driver{config};
+}
+
+TEST(DevicePlugin, NoDriverMeansNoSgx) {
+  DevicePlugin plugin{nullptr};
+  EXPECT_FALSE(plugin.sgx_available());
+  EXPECT_TRUE(plugin.list_devices().empty());
+  EXPECT_EQ(plugin.advertised_pages().count(), 0u);
+}
+
+TEST(DevicePlugin, AdvertisesOneDevicePerEpcPage) {
+  const sgx::Driver driver = make_driver();
+  DevicePlugin plugin{&driver};
+  EXPECT_TRUE(plugin.sgx_available());
+  // The paper's key design decision (§V-A): each of the 23 936 usable EPC
+  // pages becomes an independently schedulable device item.
+  EXPECT_EQ(plugin.advertised_pages().count(), 23'936u);
+  const auto devices = plugin.list_devices();
+  ASSERT_EQ(devices.size(), 23'936u);
+  EXPECT_EQ(devices.front(), "epc-page-0");
+  EXPECT_EQ(devices.back(), "epc-page-23935");
+}
+
+TEST(DevicePlugin, ResourceNameAndDevicePath) {
+  EXPECT_STREQ(DevicePlugin::kResourceName, "intel.com/sgx-epc-page");
+  EXPECT_STREQ(DevicePlugin::kDevicePath, "/dev/isgx");
+}
+
+TEST(DeviceAllocator, AllocateAndRelease) {
+  DeviceAllocator alloc{Pages{100}};
+  EXPECT_EQ(alloc.available(), Pages{100});
+  EXPECT_TRUE(alloc.allocate("pod-a", Pages{60}));
+  EXPECT_EQ(alloc.available(), Pages{40});
+  EXPECT_EQ(alloc.allocated_to("pod-a"), Pages{60});
+  alloc.release("pod-a");
+  EXPECT_EQ(alloc.available(), Pages{100});
+  EXPECT_EQ(alloc.allocated_to("pod-a"), Pages{0});
+}
+
+TEST(DeviceAllocator, RefusesOverAllocation) {
+  DeviceAllocator alloc{Pages{100}};
+  EXPECT_TRUE(alloc.allocate("pod-a", Pages{80}));
+  // Multiple pods share the node, but never beyond the advertised pages —
+  // EPC over-commitment is deliberately prevented.
+  EXPECT_FALSE(alloc.allocate("pod-b", Pages{21}));
+  EXPECT_TRUE(alloc.allocate("pod-b", Pages{20}));
+  EXPECT_EQ(alloc.available(), Pages{0});
+}
+
+TEST(DeviceAllocator, MultiplePodsSharing) {
+  DeviceAllocator alloc{Pages{1000}};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(alloc.allocate("pod-" + std::to_string(i), Pages{100}));
+  }
+  EXPECT_EQ(alloc.available(), Pages{0});
+  alloc.release("pod-3");
+  EXPECT_EQ(alloc.available(), Pages{100});
+}
+
+TEST(DeviceAllocator, ReleaseUnknownPodIsNoop) {
+  DeviceAllocator alloc{Pages{10}};
+  EXPECT_NO_THROW(alloc.release("ghost"));
+  EXPECT_EQ(alloc.available(), Pages{10});
+}
+
+TEST(DeviceAllocator, RejectsEmptyPodName) {
+  DeviceAllocator alloc{Pages{10}};
+  EXPECT_THROW((void)alloc.allocate("", Pages{1}), ContractViolation);
+}
+
+TEST(DeviceAllocator, ZeroPageAllocationAllowed) {
+  // Standard pods request zero EPC; the allocator must tolerate that.
+  DeviceAllocator alloc{Pages{10}};
+  EXPECT_TRUE(alloc.allocate("pod-a", Pages{0}));
+  EXPECT_EQ(alloc.available(), Pages{10});
+}
+
+}  // namespace
+}  // namespace sgxo::cluster

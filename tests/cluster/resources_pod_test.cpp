@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "cluster/pod.hpp"
+#include "cluster/resources.hpp"
+
+namespace sgxo::cluster {
+namespace {
+
+using namespace sgxo::literals;
+
+TEST(PaperCluster, MatchesSectionVIA) {
+  const std::vector<MachineSpec> machines = paper_cluster();
+  ASSERT_EQ(machines.size(), 5u);
+
+  std::size_t masters = 0;
+  std::size_t sgx_nodes = 0;
+  Bytes total_memory{};
+  for (const MachineSpec& m : machines) {
+    if (m.is_master) ++masters;
+    if (m.has_sgx()) ++sgx_nodes;
+    total_memory += m.memory;
+  }
+  EXPECT_EQ(masters, 1u);
+  EXPECT_EQ(sgx_nodes, 2u);
+  // 2 × 64 GiB + 2 × 8 GiB + master 64 GiB.
+  EXPECT_EQ(total_memory, 64_GiB + 64_GiB + 64_GiB + 8_GiB + 8_GiB);
+}
+
+TEST(PaperCluster, SgxNodesHave128MiBReserved) {
+  for (const MachineSpec& m : paper_cluster()) {
+    if (!m.has_sgx()) continue;
+    EXPECT_EQ(m.epc->reserved, 128_MiB);
+    EXPECT_EQ(m.epc->usable_pages().count(), 23'936u);
+    EXPECT_EQ(m.memory, 8_GiB);
+  }
+}
+
+TEST(PaperCluster, MasterIsNotSgx) {
+  const auto machines = paper_cluster();
+  EXPECT_FALSE(machines.front().has_sgx());
+  EXPECT_TRUE(machines.front().is_master);
+}
+
+TEST(ResourceAmounts, AdditionAndSgxDetection) {
+  ResourceAmounts a{1_GiB, Pages{10}};
+  ResourceAmounts b{2_GiB, Pages{0}};
+  const ResourceAmounts sum = a + b;
+  EXPECT_EQ(sum.memory, 3_GiB);
+  EXPECT_EQ(sum.epc_pages, Pages{10});
+  EXPECT_TRUE(a.wants_sgx());
+  EXPECT_FALSE(b.wants_sgx());
+}
+
+TEST(PodSpec, TotalsAcrossContainers) {
+  PodSpec pod;
+  pod.name = "multi";
+  pod.containers.push_back(
+      ContainerSpec{"c1", "img", {1_GiB, Pages{5}}, {2_GiB, Pages{10}}});
+  pod.containers.push_back(
+      ContainerSpec{"c2", "img", {512_MiB, Pages{3}}, {1_GiB, Pages{3}}});
+  EXPECT_EQ(pod.total_requests().memory, 1_GiB + 512_MiB);
+  EXPECT_EQ(pod.total_requests().epc_pages, Pages{8});
+  EXPECT_EQ(pod.total_limits().memory, 3_GiB);
+  EXPECT_EQ(pod.total_limits().epc_pages, Pages{13});
+  EXPECT_TRUE(pod.wants_sgx());
+}
+
+TEST(PodSpec, SgxDetectionFromLimitsOnly) {
+  PodSpec pod;
+  pod.containers.push_back(
+      ContainerSpec{"c", "img", {1_GiB, Pages{0}}, {1_GiB, Pages{4}}});
+  EXPECT_TRUE(pod.wants_sgx());
+}
+
+TEST(PodSpec, StandardPodDoesNotWantSgx) {
+  PodSpec pod;
+  pod.containers.push_back(
+      ContainerSpec{"c", "img", {1_GiB, Pages{0}}, {1_GiB, Pages{0}}});
+  EXPECT_FALSE(pod.wants_sgx());
+}
+
+TEST(MakeStressorPod, BuildsSingleContainerPod) {
+  PodBehavior behavior;
+  behavior.sgx = true;
+  behavior.actual_usage = 8_MiB;
+  behavior.duration = Duration::seconds(60);
+  const PodSpec pod = make_stressor_pod(
+      "job-1", {0_B, Pages{2048}}, {0_B, Pages{2048}}, behavior, "sgx-binpack");
+  EXPECT_EQ(pod.name, "job-1");
+  ASSERT_EQ(pod.containers.size(), 1u);
+  EXPECT_EQ(pod.containers[0].image, "sebvaucher/sgx-base:stress-sgx");
+  EXPECT_EQ(pod.scheduler_name, "sgx-binpack");
+  EXPECT_TRUE(pod.wants_sgx());
+  EXPECT_EQ(pod.behavior.actual_usage, 8_MiB);
+}
+
+TEST(PodPhase, Names) {
+  EXPECT_STREQ(to_string(PodPhase::kPending), "Pending");
+  EXPECT_STREQ(to_string(PodPhase::kBound), "Bound");
+  EXPECT_STREQ(to_string(PodPhase::kRunning), "Running");
+  EXPECT_STREQ(to_string(PodPhase::kSucceeded), "Succeeded");
+  EXPECT_STREQ(to_string(PodPhase::kFailed), "Failed");
+}
+
+}  // namespace
+}  // namespace sgxo::cluster

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace sgxo {
+namespace {
+
+class LogFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Log::set_level(LogLevel::kDebug);
+    Log::set_sink([this](LogLevel level, const std::string& message) {
+      captured_.emplace_back(level, message);
+    });
+  }
+  void TearDown() override {
+    Log::reset_sink();
+    Log::set_level(LogLevel::kWarn);
+  }
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LogFixture, MacroFormatsStream) {
+  SGXO_INFO("value=" << 42);
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "value=42");
+}
+
+TEST_F(LogFixture, LevelFilters) {
+  Log::set_level(LogLevel::kError);
+  SGXO_DEBUG("dropped");
+  SGXO_WARN("dropped too");
+  SGXO_ERROR("kept");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "kept");
+}
+
+TEST_F(LogFixture, EnabledMatchesLevel) {
+  Log::set_level(LogLevel::kWarn);
+  EXPECT_FALSE(Log::enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Log::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Log::enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+}
+
+TEST(LogLevelNames, AllDistinct) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(to_string(LogLevel::kInfo), "info");
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "warn");
+  EXPECT_STREQ(to_string(LogLevel::kError), "error");
+}
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(SGXO_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsWithContext) {
+  try {
+    SGXO_CHECK_MSG(false, "extra context");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("extra context"), std::string::npos);
+    EXPECT_NE(what.find("log_error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, PlainCheckThrows) {
+  EXPECT_THROW(SGXO_CHECK(false), ContractViolation);
+}
+
+TEST(Errors, DomainErrorIsRuntimeError) {
+  const DomainError e{"boom"};
+  EXPECT_STREQ(e.what(), "boom");
+  EXPECT_THROW(throw DomainError{"x"}, std::runtime_error);
+}
+
+TEST(Errors, ContractViolationIsLogicError) {
+  EXPECT_THROW(throw ContractViolation{"x"}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace sgxo

@@ -1,0 +1,192 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sgxo {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.5, 3.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(Rng, UniformRejectsEmptyRange) {
+  Rng rng{7};
+  EXPECT_THROW((void)rng.uniform(1.0, 1.0), ContractViolation);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng{11};
+  std::vector<int> seen(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const std::int64_t v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (const int count : seen) {
+    EXPECT_GT(count, 800);  // roughly uniform
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng{11};
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng{3};
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(Rng, BernoulliRoughFrequency) {
+  Rng rng{5};
+  int hits = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10'000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{13};
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(5.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{17};
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent{21};
+  Rng child = parent.split();
+  // Child should not replay the parent's stream.
+  Rng parent_again{21};
+  (void)parent_again.next_u64();  // consume the draw used by split()
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == parent_again.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{23};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleHandlesSmallInputs) {
+  Rng rng{29};
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(InverseCdf, InterpolatesBetweenKnots) {
+  const InverseCdfSampler cdf{{{0.0, 0.0}, {0.5, 10.0}, {1.0, 20.0}}};
+  EXPECT_DOUBLE_EQ(cdf.at_quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at_quantile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.at_quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.at_quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(cdf.at_quantile(1.0), 20.0);
+}
+
+TEST(InverseCdf, ClampsOutOfRangeQuantiles) {
+  const InverseCdfSampler cdf{{{0.0, 1.0}, {1.0, 2.0}}};
+  EXPECT_DOUBLE_EQ(cdf.at_quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at_quantile(1.5), 2.0);
+}
+
+TEST(InverseCdf, SamplesStayWithinSupport) {
+  const InverseCdfSampler cdf{{{0.0, 3.0}, {0.7, 5.0}, {1.0, 9.0}}};
+  Rng rng{31};
+  for (int i = 0; i < 5000; ++i) {
+    const double x = cdf.sample(rng);
+    EXPECT_GE(x, 3.0);
+    EXPECT_LE(x, 9.0);
+  }
+}
+
+TEST(InverseCdf, RejectsMalformedKnots) {
+  using Knots = std::vector<InverseCdfSampler::Knot>;
+  EXPECT_THROW(InverseCdfSampler(Knots{{0.0, 1.0}}), ContractViolation);
+  EXPECT_THROW(InverseCdfSampler(Knots{{0.1, 1.0}, {1.0, 2.0}}),
+               ContractViolation);
+  EXPECT_THROW(InverseCdfSampler(Knots{{0.0, 1.0}, {0.9, 2.0}}),
+               ContractViolation);
+  // Decreasing values.
+  EXPECT_THROW(InverseCdfSampler(Knots{{0.0, 2.0}, {1.0, 1.0}}),
+               ContractViolation);
+  // Non-increasing quantiles.
+  EXPECT_THROW(InverseCdfSampler(Knots{{0.0, 1.0}, {0.5, 2.0}, {0.5, 3.0},
+                                       {1.0, 4.0}}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgxo

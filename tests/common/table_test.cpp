@@ -1,0 +1,71 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sgxo {
+namespace {
+
+TEST(Table, RequiresHeaders) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, ContractViolation);
+}
+
+TEST(Table, RowWidthMustMatch) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, CellAccess) {
+  Table t{{"x"}};
+  t.add_row({"42"});
+  EXPECT_EQ(t.cell(0, 0), "42");
+  EXPECT_THROW((void)t.cell(1, 0), ContractViolation);
+  EXPECT_THROW((void)t.cell(0, 1), ContractViolation);
+}
+
+TEST(Table, PrettyPrintAligns) {
+  Table t{{"name", "v"}};
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "2"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("| name      | v |"), std::string::npos);
+  EXPECT_NE(out.find("| long-name | 2 |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t{{"a", "b"}};
+  t.add_row({"x,y", "he said \"hi\""});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_EQ(oss.str(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table t{{"a"}};
+  t.add_row({"simple"});
+  std::ostringstream oss;
+  t.print_csv(oss);
+  EXPECT_EQ(oss.str(), "a\nsimple\n");
+}
+
+TEST(Fmt, DoublePrecision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.14159, 4), "3.1416");
+  EXPECT_EQ(fmt_double(2.0), "2.00");
+}
+
+TEST(Fmt, Percent) {
+  EXPECT_EQ(fmt_percent(0.5), "50.0%");
+  EXPECT_EQ(fmt_percent(0.123, 2), "12.30%");
+}
+
+}  // namespace
+}  // namespace sgxo

@@ -1,0 +1,80 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sgxo {
+namespace {
+
+TEST(Duration, FactoriesAgree) {
+  EXPECT_EQ(Duration::millis(1), Duration::micros(1000));
+  EXPECT_EQ(Duration::seconds(1), Duration::millis(1000));
+  EXPECT_EQ(Duration::minutes(1), Duration::seconds(60));
+  EXPECT_EQ(Duration::hours(1), Duration::minutes(60));
+}
+
+TEST(Duration, FractionalFactories) {
+  EXPECT_EQ(Duration::from_seconds(1.5), Duration::millis(1500));
+  EXPECT_EQ(Duration::from_millis(0.5), Duration::micros(500));
+}
+
+TEST(Duration, Accessors) {
+  const Duration d = Duration::seconds(90);
+  EXPECT_DOUBLE_EQ(d.as_seconds(), 90.0);
+  EXPECT_DOUBLE_EQ(d.as_millis(), 90'000.0);
+  EXPECT_DOUBLE_EQ(d.as_hours(), 0.025);
+  EXPECT_EQ(d.micros_count(), 90'000'000);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(Duration::seconds(1) + Duration::seconds(2), Duration::seconds(3));
+  EXPECT_EQ(Duration::seconds(5) - Duration::seconds(2), Duration::seconds(3));
+  EXPECT_EQ(Duration::seconds(2) * 3, Duration::seconds(6));
+  Duration d = Duration::seconds(1);
+  d += Duration::seconds(1);
+  EXPECT_EQ(d, Duration::seconds(2));
+}
+
+TEST(Duration, ComparisonAndDefault) {
+  EXPECT_EQ(Duration{}, Duration::micros(0));
+  EXPECT_LT(Duration::millis(999), Duration::seconds(1));
+  EXPECT_GT(Duration::hours(1), Duration::minutes(59));
+}
+
+TEST(TimePoint, EpochAndOffsets) {
+  const TimePoint epoch = TimePoint::epoch();
+  EXPECT_EQ(epoch.micros_since_epoch(), 0);
+  const TimePoint later = epoch + Duration::seconds(10);
+  EXPECT_EQ(later - epoch, Duration::seconds(10));
+  EXPECT_EQ(later - Duration::seconds(10), epoch);
+  EXPECT_LT(epoch, later);
+}
+
+TEST(TimePoint, FromMicros) {
+  const TimePoint t = TimePoint::from_micros(42);
+  EXPECT_EQ(t.micros_since_epoch(), 42);
+  EXPECT_EQ(t.since_epoch(), Duration::micros(42));
+}
+
+TEST(TimeFormat, RendersByMagnitude) {
+  EXPECT_EQ(to_string(Duration::micros(5)), "5us");
+  EXPECT_EQ(to_string(Duration::millis(12)), "12.00ms");
+  EXPECT_EQ(to_string(Duration::seconds(47)), "47.00s");
+  EXPECT_EQ(to_string(Duration::hours(4) + Duration::minutes(47)), "4h47m");
+}
+
+TEST(TimeFormat, PaperMakespans) {
+  // The Fig. 7 completion times must render the way the paper states them.
+  EXPECT_EQ(to_string(Duration::hours(1) + Duration::minutes(22)), "1h22m");
+  EXPECT_EQ(to_string(Duration::hours(2) + Duration::minutes(47)), "2h47m");
+}
+
+TEST(TimeFormat, StreamOperator) {
+  std::ostringstream oss;
+  oss << TimePoint::epoch() + Duration::seconds(3);
+  EXPECT_EQ(oss.str(), "t+3.00s");
+}
+
+}  // namespace
+}  // namespace sgxo

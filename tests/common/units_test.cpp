@@ -1,0 +1,89 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sgxo {
+namespace {
+
+using namespace sgxo::literals;
+
+TEST(Bytes, LiteralsProduceExpectedCounts) {
+  EXPECT_EQ((1_B).count(), 1u);
+  EXPECT_EQ((1_KiB).count(), 1024u);
+  EXPECT_EQ((1_MiB).count(), 1024u * 1024u);
+  EXPECT_EQ((1_GiB).count(), 1024ull * 1024 * 1024);
+}
+
+TEST(Bytes, FractionalMibHelper) {
+  // The usable EPC: 93.5 MiB must be exactly 23 936 four-KiB pages.
+  const Bytes usable = mib(93.5);
+  EXPECT_EQ(usable.count() % Pages::kPageSize, 0u);
+  EXPECT_EQ(usable.count() / Pages::kPageSize, 23'936u);
+}
+
+TEST(Bytes, ArithmeticAndComparison) {
+  EXPECT_EQ(1_MiB + 1_MiB, 2_MiB);
+  EXPECT_EQ(2_MiB - 1_MiB, 1_MiB);
+  EXPECT_LT(1_KiB, 1_MiB);
+  EXPECT_GT(1_GiB, 1_MiB);
+  Bytes b = 1_MiB;
+  b += 1_MiB;
+  EXPECT_EQ(b, 2_MiB);
+  b -= 2_MiB;
+  EXPECT_EQ(b, 0_B);
+}
+
+TEST(Bytes, UnitConversions) {
+  EXPECT_DOUBLE_EQ((512_MiB).as_gib(), 0.5);
+  EXPECT_DOUBLE_EQ((1_GiB).as_mib(), 1024.0);
+}
+
+TEST(Bytes, DefaultIsZero) { EXPECT_EQ(Bytes{}.count(), 0u); }
+
+TEST(Pages, PageSizeIsFourKiB) { EXPECT_EQ(Pages::kPageSize, 4096u); }
+
+TEST(Pages, CeilFromRoundsUp) {
+  EXPECT_EQ(Pages::ceil_from(0_B).count(), 0u);
+  EXPECT_EQ(Pages::ceil_from(1_B).count(), 1u);
+  EXPECT_EQ(Pages::ceil_from(4096_B).count(), 1u);
+  EXPECT_EQ(Pages::ceil_from(4097_B).count(), 2u);
+  EXPECT_EQ(Pages::ceil_from(1_MiB).count(), 256u);
+}
+
+TEST(Pages, RoundTripThroughBytes) {
+  const Pages p{23'936};
+  EXPECT_EQ(p.as_bytes(), mib(93.5));
+  EXPECT_EQ(Pages::ceil_from(p.as_bytes()), p);
+}
+
+TEST(Pages, Arithmetic) {
+  EXPECT_EQ((Pages{3} + Pages{4}).count(), 7u);
+  EXPECT_EQ((Pages{4} - Pages{3}).count(), 1u);
+  Pages p{10};
+  p += Pages{5};
+  EXPECT_EQ(p.count(), 15u);
+  p -= Pages{15};
+  EXPECT_EQ(p.count(), 0u);
+}
+
+TEST(Pages, MibConversion) {
+  EXPECT_DOUBLE_EQ((Pages{256}).as_mib(), 1.0);
+}
+
+TEST(UnitsFormat, HumanReadableBytes) {
+  EXPECT_EQ(to_string(512_B), "512B");
+  EXPECT_EQ(to_string(2_KiB), "2.00KiB");
+  EXPECT_EQ(to_string(3_MiB), "3.00MiB");
+  EXPECT_EQ(to_string(4_GiB), "4.00GiB");
+}
+
+TEST(UnitsFormat, StreamOperators) {
+  std::ostringstream oss;
+  oss << 1_MiB << ' ' << Pages{1};
+  EXPECT_EQ(oss.str(), "1.00MiB 1pages(4.00KiB)");
+}
+
+}  // namespace
+}  // namespace sgxo

@@ -1,0 +1,142 @@
+#include "core/contention_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/fixture.hpp"
+
+namespace sgxo::core {
+namespace {
+
+using namespace sgxo::literals;
+
+cluster::PodSpec sgx_pod(const std::string& name, Pages pages,
+                         Duration duration,
+                         const cluster::NodeName& pin = "") {
+  cluster::PodBehavior behavior;
+  behavior.sgx = true;
+  behavior.actual_usage = pages.as_bytes();
+  behavior.duration = duration;
+  auto pod = cluster::make_stressor_pod(name, {0_B, pages}, {0_B, pages},
+                                        behavior);
+  pod.node_selector = pin;
+  return pod;
+}
+
+class ContentionFixture : public ::testing::Test {
+ protected:
+  ContentionFixture() {
+    scheduler_ = &cluster_.add_sgx_scheduler(PlacementPolicy::kBinpack);
+    cluster_.api().set_default_scheduler(scheduler_->name());
+    cluster_.start_monitoring();
+  }
+  exp::SimulatedCluster cluster_;
+  SgxAwareScheduler* scheduler_ = nullptr;
+};
+
+TEST_F(ContentionFixture, IdleClusterIsNotContended) {
+  ContentionMonitor monitor{cluster_.sim(), cluster_.api()};
+  monitor.sample_once();
+  const ContentionReport& report = monitor.report();
+  EXPECT_EQ(report.nodes.size(), 2u);  // the two SGX nodes
+  EXPECT_FALSE(report.any_contended());
+  for (const auto& node : report.nodes) {
+    EXPECT_DOUBLE_EQ(node.pressure, 0.0);
+    EXPECT_TRUE(node.candidates.empty());
+  }
+}
+
+TEST_F(ContentionFixture, ContentionNeedsConsecutiveSamples) {
+  // Fill sgx-1 above the 90 % threshold.
+  cluster_.api().submit(
+      sgx_pod("hog", Pages{23'000}, Duration::hours(1), "sgx-1"));
+  cluster_.sim().run_until(TimePoint::epoch() + Duration::seconds(30));
+
+  ContentionMonitor monitor{cluster_.sim(), cluster_.api(), 0.9, 3};
+  monitor.sample_once();
+  EXPECT_FALSE(monitor.report().find("sgx-1")->contended);
+  monitor.sample_once();
+  EXPECT_FALSE(monitor.report().find("sgx-1")->contended);
+  monitor.sample_once();
+  EXPECT_TRUE(monitor.report().find("sgx-1")->contended);
+  EXPECT_EQ(monitor.report().find("sgx-1")->consecutive_hot, 3);
+  // The other node stays cold.
+  EXPECT_FALSE(monitor.report().find("sgx-2")->contended);
+  cluster_.stop_all();
+}
+
+TEST_F(ContentionFixture, StreakResetsWhenPressureDrops) {
+  cluster_.api().submit(
+      sgx_pod("short-hog", Pages{23'000}, Duration::seconds(40), "sgx-1"));
+  cluster_.sim().run_until(TimePoint::epoch() + Duration::seconds(20));
+  ContentionMonitor monitor{cluster_.sim(), cluster_.api(), 0.9, 3};
+  monitor.sample_once();
+  monitor.sample_once();
+  EXPECT_EQ(monitor.report().find("sgx-1")->consecutive_hot, 2);
+  // Let the hog finish; pressure drops; streak resets.
+  cluster_.sim().run_until(TimePoint::epoch() + Duration::minutes(2));
+  monitor.sample_once();
+  EXPECT_EQ(monitor.report().find("sgx-1")->consecutive_hot, 0);
+  monitor.sample_once();
+  EXPECT_FALSE(monitor.report().find("sgx-1")->contended);
+  cluster_.stop_all();
+}
+
+TEST_F(ContentionFixture, CandidatesRankedByEpcFootprint) {
+  cluster_.api().submit(
+      sgx_pod("small", Pages{4'000}, Duration::hours(1), "sgx-1"));
+  cluster_.api().submit(
+      sgx_pod("large", Pages{12'000}, Duration::hours(1), "sgx-1"));
+  cluster_.api().submit(
+      sgx_pod("medium", Pages{7'000}, Duration::hours(1), "sgx-1"));
+  cluster_.sim().run_until(TimePoint::epoch() + Duration::minutes(1));
+
+  ContentionMonitor monitor{cluster_.sim(), cluster_.api(), 0.9, 1};
+  monitor.sample_once();
+  const auto* node = monitor.report().find("sgx-1");
+  ASSERT_NE(node, nullptr);
+  ASSERT_TRUE(node->contended);
+  ASSERT_EQ(node->candidates.size(), 3u);
+  EXPECT_EQ(node->candidates[0].pod, "large");
+  EXPECT_EQ(node->candidates[1].pod, "medium");
+  EXPECT_EQ(node->candidates[2].pod, "small");
+  cluster_.stop_all();
+}
+
+TEST_F(ContentionFixture, PeriodicSamplingViaTimer) {
+  ContentionMonitor monitor{cluster_.sim(), cluster_.api(), 0.9, 3,
+                            Duration::seconds(10)};
+  monitor.start();
+  cluster_.sim().run_until(TimePoint::epoch() + Duration::seconds(45));
+  monitor.stop();
+  EXPECT_EQ(monitor.samples(), 4u);
+  cluster_.stop_all();
+}
+
+TEST_F(ContentionFixture, ConfigValidation) {
+  EXPECT_THROW(ContentionMonitor(cluster_.sim(), cluster_.api(), 0.0),
+               ContractViolation);
+  EXPECT_THROW(ContentionMonitor(cluster_.sim(), cluster_.api(), 1.5),
+               ContractViolation);
+  EXPECT_THROW(ContentionMonitor(cluster_.sim(), cluster_.api(), 0.9, 0),
+               ContractViolation);
+}
+
+TEST(PagingStats, DriverExportsPagedOutCounter) {
+  sgx::DriverConfig config;
+  config.enforce_limits = false;
+  sgx::Driver driver{config};
+  EXPECT_EQ(driver.read_module_param("sgx_nr_paged_out_pages"), "0");
+  // Fill the EPC, then over-commit: the older enclave's pages are evicted.
+  const auto big = driver.create_enclave(1, "/a", driver.total_epc_pages());
+  driver.init_enclave(big);
+  const auto intruder = driver.create_enclave(2, "/b", Pages{1000});
+  driver.init_enclave(intruder);
+  EXPECT_EQ(driver.read_module_param("sgx_nr_paged_out_pages"), "1000");
+  driver.destroy_enclave(intruder);
+  // Counter is cumulative: it never decreases.
+  EXPECT_EQ(driver.read_module_param("sgx_nr_paged_out_pages"), "1000");
+  driver.destroy_enclave(big);
+}
+
+}  // namespace
+}  // namespace sgxo::core

@@ -1,0 +1,195 @@
+// End-to-end tests of orchestrated enclave live migration: the Kubelet
+// hand-off and the defragmentation controller.
+#include "core/migration_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/fixture.hpp"
+
+namespace sgxo::core {
+namespace {
+
+using namespace sgxo::literals;
+
+cluster::PodSpec sgx_pod(const std::string& name, Pages pages,
+                         Duration duration,
+                         const cluster::NodeName& pin = "") {
+  cluster::PodBehavior behavior;
+  behavior.sgx = true;
+  behavior.actual_usage = pages.as_bytes();
+  behavior.duration = duration;
+  auto pod = cluster::make_stressor_pod(name, {0_B, pages}, {0_B, pages},
+                                        behavior);
+  pod.node_selector = pin;
+  return pod;
+}
+
+/// Fragmented setup: two medium pods, one pinned to each SGX node, leave
+/// neither node with room for a large pod although the cluster as a whole
+/// has enough free EPC.
+class FragmentedCluster : public ::testing::Test {
+ protected:
+  FragmentedCluster() {
+    scheduler_ = &cluster_.add_sgx_scheduler(PlacementPolicy::kBinpack);
+    cluster_.api().set_default_scheduler(scheduler_->name());
+    cluster_.start_monitoring();
+    cluster_.api().submit(
+        sgx_pod("frag-1", Pages{10'000}, Duration::hours(1), "sgx-1"));
+    cluster_.api().submit(
+        sgx_pod("frag-2", Pages{10'000}, Duration::hours(1), "sgx-2"));
+    cluster_.sim().run_until(TimePoint::epoch() + Duration::seconds(30));
+    EXPECT_EQ(cluster_.api().pod("frag-1").node, "sgx-1");
+    EXPECT_EQ(cluster_.api().pod("frag-2").node, "sgx-2");
+    // 18 000 pages needed; each node has 13 936 free: fits nowhere.
+    cluster_.api().submit(
+        sgx_pod("blocked", Pages{18'000}, Duration::minutes(2)));
+  }
+
+  exp::SimulatedCluster cluster_;
+  SgxAwareScheduler* scheduler_ = nullptr;
+};
+
+TEST_F(FragmentedCluster, WithoutMigrationThePodStarves) {
+  cluster_.sim().run_until(TimePoint::epoch() + Duration::minutes(10));
+  EXPECT_EQ(cluster_.api().pod("blocked").phase,
+            cluster::PodPhase::kPending);
+  cluster_.stop_all();
+}
+
+TEST(MigrationController, DefragmentsUnpinnedVictims) {
+  exp::SimulatedCluster cluster;
+  auto& scheduler = cluster.add_sgx_scheduler(PlacementPolicy::kSpread);
+  cluster.api().set_default_scheduler(scheduler.name());
+  cluster.start_monitoring();
+
+  // The spread policy puts the two medium pods on different nodes.
+  cluster.api().submit(sgx_pod("m-1", Pages{10'000}, Duration::hours(1)));
+  cluster.api().submit(sgx_pod("m-2", Pages{10'000}, Duration::hours(1)));
+  cluster.sim().run_until(TimePoint::epoch() + Duration::seconds(30));
+  ASSERT_NE(cluster.api().pod("m-1").node, cluster.api().pod("m-2").node);
+
+  cluster.api().submit(sgx_pod("big", Pages{18'000}, Duration::minutes(2)));
+  MigrationController controller{cluster.sim(), cluster.api(),
+                                 cluster.perf(), Duration::seconds(30)};
+  controller.start();
+  cluster.sim().run_until(TimePoint::epoch() + Duration::minutes(15));
+  controller.stop();
+  cluster.stop_all();
+
+  EXPECT_EQ(controller.migrations(), 1u);
+  // Both medium pods ended on one node; the big pod ran and finished.
+  EXPECT_EQ(cluster.api().pod("m-1").node, cluster.api().pod("m-2").node);
+  EXPECT_EQ(cluster.api().pod("big").phase, cluster::PodPhase::kSucceeded);
+  EXPECT_EQ(controller.service().checkpoints_taken(), 1u);
+  EXPECT_EQ(controller.service().restores_done(), 1u);
+}
+
+TEST(MigrationController, NoActionWhenNothingIsBlocked) {
+  exp::SimulatedCluster cluster;
+  auto& scheduler = cluster.add_sgx_scheduler(PlacementPolicy::kBinpack);
+  cluster.api().set_default_scheduler(scheduler.name());
+  cluster.start_monitoring();
+  cluster.api().submit(sgx_pod("small", Pages{1000}, Duration::minutes(1)));
+  MigrationController controller{cluster.sim(), cluster.api(),
+                                 cluster.perf()};
+  controller.start();
+  ASSERT_TRUE(cluster.run_until_quiescent(1, Duration::minutes(10)));
+  controller.stop();
+  cluster.stop_all();
+  EXPECT_EQ(controller.migrations(), 0u);
+}
+
+TEST(MigrationController, MigratedPodCompletesWithFullRuntime) {
+  exp::SimulatedCluster cluster;
+  auto& scheduler = cluster.add_sgx_scheduler(PlacementPolicy::kSpread);
+  cluster.api().set_default_scheduler(scheduler.name());
+  cluster.start_monitoring();
+
+  cluster.api().submit(sgx_pod("victim", Pages{10'000}, Duration::minutes(5)));
+  cluster.api().submit(sgx_pod("other", Pages{10'000}, Duration::hours(1)));
+  cluster.sim().run_until(TimePoint::epoch() + Duration::seconds(30));
+  cluster.api().submit(sgx_pod("big", Pages{18'000}, Duration::minutes(1)));
+
+  MigrationController controller{cluster.sim(), cluster.api(),
+                                 cluster.perf(), Duration::seconds(30)};
+  controller.start();
+  cluster.sim().run_until(TimePoint::epoch() + Duration::minutes(20));
+  controller.stop();
+  cluster.stop_all();
+
+  // The victim survived its migration and eventually succeeded; its
+  // turnaround exceeds its 5-minute runtime by the migration pause.
+  const orch::PodRecord& victim = cluster.api().pod("victim");
+  EXPECT_EQ(victim.phase, cluster::PodPhase::kSucceeded);
+  ASSERT_TRUE(victim.turnaround_time().has_value());
+  EXPECT_GT(*victim.turnaround_time(), Duration::minutes(5));
+  // And a migration event is on the record.
+  bool migrated_event = false;
+  for (const orch::Event& event : cluster.api().events()) {
+    if (event.pod == "victim" &&
+        event.message.find("Migrated") != std::string::npos) {
+      migrated_event = true;
+    }
+  }
+  EXPECT_TRUE(migrated_event);
+}
+
+TEST(MigrationController, DynamicProfilePodsAreNeverMoved) {
+  // SGX 2 dynamic enclaves keep grow/trim events on their source node; the
+  // controller must not checkpoint them mid-profile.
+  exp::ClusterConfig config;
+  config.sgx_version = sgx::SgxVersion::kSgx2;
+  exp::SimulatedCluster cluster{config};
+  auto& scheduler = cluster.add_sgx_scheduler(PlacementPolicy::kSpread);
+  cluster.api().set_default_scheduler(scheduler.name());
+  cluster.start_monitoring();
+
+  const auto dynamic_pod = [](const std::string& name, Pages pages) {
+    cluster::PodBehavior behavior;
+    behavior.sgx = true;
+    behavior.actual_usage = pages.as_bytes();
+    behavior.duration = Duration::hours(1);
+    behavior.initial_usage_fraction = 0.5;
+    return cluster::make_stressor_pod(name, {0_B, pages}, {0_B, pages},
+                                      behavior);
+  };
+  cluster.api().submit(dynamic_pod("dyn-1", Pages{10'000}));
+  cluster.api().submit(dynamic_pod("dyn-2", Pages{10'000}));
+  cluster.sim().run_until(TimePoint::epoch() + Duration::seconds(30));
+  ASSERT_NE(cluster.api().pod("dyn-1").node, cluster.api().pod("dyn-2").node);
+
+  cluster.api().submit(sgx_pod("big", Pages{18'000}, Duration::minutes(1)));
+  MigrationController controller{cluster.sim(), cluster.api(),
+                                 cluster.perf(), Duration::seconds(30)};
+  controller.start();
+  cluster.sim().run_until(TimePoint::epoch() + Duration::minutes(5));
+  controller.stop();
+  cluster.stop_all();
+  EXPECT_EQ(controller.migrations(), 0u);
+  EXPECT_EQ(cluster.api().pod("big").phase, cluster::PodPhase::kPending);
+}
+
+TEST(MigrationController, PinnedVictimsAreNeverMoved) {
+  exp::SimulatedCluster cluster;
+  auto& scheduler = cluster.add_sgx_scheduler(PlacementPolicy::kBinpack);
+  cluster.api().set_default_scheduler(scheduler.name());
+  cluster.start_monitoring();
+  cluster.api().submit(
+      sgx_pod("pin-1", Pages{10'000}, Duration::hours(1), "sgx-1"));
+  cluster.api().submit(
+      sgx_pod("pin-2", Pages{10'000}, Duration::hours(1), "sgx-2"));
+  cluster.sim().run_until(TimePoint::epoch() + Duration::seconds(30));
+  cluster.api().submit(sgx_pod("big", Pages{18'000}, Duration::minutes(1)));
+
+  MigrationController controller{cluster.sim(), cluster.api(),
+                                 cluster.perf(), Duration::seconds(30)};
+  controller.start();
+  cluster.sim().run_until(TimePoint::epoch() + Duration::minutes(5));
+  controller.stop();
+  cluster.stop_all();
+  EXPECT_EQ(controller.migrations(), 0u);
+  EXPECT_EQ(cluster.api().pod("big").phase, cluster::PodPhase::kPending);
+}
+
+}  // namespace
+}  // namespace sgxo::core

@@ -1,0 +1,183 @@
+// Priority preemption under EPC contention (extension of §V-E: the
+// per-process EPC ioctl exists "to identify processes that should be
+// preempted ... especially useful in scenarios of high contention").
+#include <gtest/gtest.h>
+
+#include "exp/fixture.hpp"
+
+namespace sgxo::core {
+namespace {
+
+using namespace sgxo::literals;
+
+cluster::PodSpec sgx_pod(const std::string& name, Pages pages,
+                         Duration duration, int priority = 0) {
+  cluster::PodBehavior behavior;
+  behavior.sgx = true;
+  behavior.actual_usage = pages.as_bytes();
+  behavior.duration = duration;
+  auto pod = cluster::make_stressor_pod(name, {0_B, pages}, {0_B, pages},
+                                        behavior);
+  pod.priority = priority;
+  return pod;
+}
+
+class PreemptionFixture : public ::testing::Test {
+ protected:
+  explicit PreemptionFixture(bool enable = true) {
+    SgxSchedulerConfig config;
+    config.policy = PlacementPolicy::kBinpack;
+    config.enable_preemption = enable;
+    scheduler_ = &cluster_.add_sgx_scheduler(std::move(config));
+    cluster_.api().set_default_scheduler(scheduler_->name());
+    cluster_.start_monitoring();
+  }
+
+  /// Fills both SGX nodes with low-priority pods.
+  void fill_cluster(int priority = 0) {
+    for (int i = 1; i <= 4; ++i) {
+      cluster_.api().submit(sgx_pod("low-" + std::to_string(i),
+                                    Pages{11'000}, Duration::hours(2),
+                                    priority));
+    }
+    cluster_.sim().run_until(TimePoint::epoch() + Duration::seconds(30));
+    for (int i = 1; i <= 4; ++i) {
+      ASSERT_EQ(cluster_.api().pod("low-" + std::to_string(i)).phase,
+                cluster::PodPhase::kRunning);
+    }
+  }
+
+  exp::SimulatedCluster cluster_;
+  SgxAwareScheduler* scheduler_ = nullptr;
+};
+
+TEST_F(PreemptionFixture, HighPriorityPodPreemptsLowPriority) {
+  fill_cluster(/*priority=*/0);
+  cluster_.api().submit(
+      sgx_pod("urgent", Pages{20'000}, Duration::minutes(2), /*priority=*/10));
+  cluster_.sim().run_until(TimePoint::epoch() + Duration::minutes(5));
+
+  EXPECT_GE(scheduler_->preemptions(), 1u);
+  const orch::PodRecord& urgent = cluster_.api().pod("urgent");
+  EXPECT_EQ(urgent.phase, cluster::PodPhase::kSucceeded);
+  // Some low-priority pod was evicted and re-queued.
+  std::uint32_t evictions = 0;
+  for (int i = 1; i <= 4; ++i) {
+    evictions += cluster_.api().pod("low-" + std::to_string(i)).evictions;
+  }
+  EXPECT_GE(evictions, 1u);
+  cluster_.stop_all();
+}
+
+TEST_F(PreemptionFixture, EvictedPodsEventuallyRunAgain) {
+  fill_cluster();
+  cluster_.api().submit(
+      sgx_pod("urgent", Pages{20'000}, Duration::minutes(2), 10));
+  // Long horizon: urgent finishes, evicted pods restart and finish their
+  // 2 h runtime.
+  cluster_.sim().run_until(TimePoint::epoch() + Duration::hours(6));
+  cluster_.stop_all();
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_EQ(cluster_.api().pod("low-" + std::to_string(i)).phase,
+              cluster::PodPhase::kSucceeded);
+  }
+}
+
+TEST_F(PreemptionFixture, EqualPriorityIsNeverPreempted) {
+  fill_cluster(/*priority=*/10);
+  cluster_.api().submit(
+      sgx_pod("same-prio", Pages{20'000}, Duration::minutes(2), 10));
+  cluster_.sim().run_until(TimePoint::epoch() + Duration::minutes(5));
+  EXPECT_EQ(scheduler_->preemptions(), 0u);
+  EXPECT_EQ(cluster_.api().pod("same-prio").phase,
+            cluster::PodPhase::kPending);
+  cluster_.stop_all();
+}
+
+TEST_F(PreemptionFixture, ZeroPriorityPodNeverPreempts) {
+  fill_cluster();
+  cluster_.api().submit(
+      sgx_pod("normal", Pages{20'000}, Duration::minutes(2), /*priority=*/0));
+  cluster_.sim().run_until(TimePoint::epoch() + Duration::minutes(5));
+  EXPECT_EQ(scheduler_->preemptions(), 0u);
+  cluster_.stop_all();
+}
+
+TEST_F(PreemptionFixture, MinimalVictimSetChosen) {
+  // One node holds one small + one big pod; evicting the small one is not
+  // enough for the incoming pod, so the controller must evict exactly
+  // the cheapest sufficient set.
+  cluster_.api().submit(sgx_pod("small", Pages{4'000}, Duration::hours(2), 0));
+  cluster_.api().submit(sgx_pod("big", Pages{18'000}, Duration::hours(2), 0));
+  cluster_.sim().run_until(TimePoint::epoch() + Duration::seconds(30));
+  // binpack put both on sgx-1 (4000 + 18000 < 23936).
+  ASSERT_EQ(cluster_.api().pod("small").node, "sgx-1");
+  ASSERT_EQ(cluster_.api().pod("big").node, "sgx-1");
+  // Fill sgx-2 completely so only sgx-1 can host the urgent pod.
+  cluster_.api().submit(sgx_pod("filler", Pages{23'000}, Duration::hours(2),
+                                0));
+  cluster_.sim().run_until(TimePoint::epoch() + Duration::minutes(1));
+  ASSERT_EQ(cluster_.api().pod("filler").node, "sgx-2");
+
+  cluster_.api().submit(
+      sgx_pod("urgent", Pages{10'000}, Duration::minutes(1), 10));
+  cluster_.sim().run_until(TimePoint::epoch() + Duration::minutes(5));
+
+  // Victims are sorted cheapest-first: small (4000) is evicted first, but
+  // 4000 + free(1936... trailing capacity) is insufficient — the big pod
+  // follows only if needed. With 23 936 total and 22 000 used, evicting
+  // small frees 4000 → 5936 free < 10 000, so big must go too (or instead).
+  EXPECT_EQ(cluster_.api().pod("urgent").phase,
+            cluster::PodPhase::kSucceeded);
+  EXPECT_GE(scheduler_->preemptions(), 1u);
+  cluster_.stop_all();
+}
+
+class PreemptionDisabledFixture : public PreemptionFixture {
+ protected:
+  PreemptionDisabledFixture() : PreemptionFixture(false) {}
+};
+
+TEST_F(PreemptionDisabledFixture, DefaultIsNonPreemptive) {
+  fill_cluster();
+  cluster_.api().submit(
+      sgx_pod("urgent", Pages{20'000}, Duration::minutes(2), 10));
+  cluster_.sim().run_until(TimePoint::epoch() + Duration::minutes(5));
+  // The paper's scheduler is non-preemptive: the urgent pod waits.
+  EXPECT_EQ(scheduler_->preemptions(), 0u);
+  EXPECT_EQ(cluster_.api().pod("urgent").phase, cluster::PodPhase::kPending);
+  std::uint32_t evictions = 0;
+  for (int i = 1; i <= 4; ++i) {
+    evictions += cluster_.api().pod("low-" + std::to_string(i)).evictions;
+  }
+  EXPECT_EQ(evictions, 0u);
+  cluster_.stop_all();
+}
+
+TEST(PendingQueuePriority, HigherPriorityScheduledFirst) {
+  exp::SimulatedCluster cluster;
+  auto& scheduler = cluster.add_sgx_scheduler(PlacementPolicy::kBinpack);
+  cluster.api().set_default_scheduler(scheduler.name());
+  cluster.start_monitoring();
+  // One SGX node is occupied up front...
+  cluster.api().submit(sgx_pod("blocker", Pages{23'000}, Duration::hours(1),
+                               0));
+  cluster.sim().run_until(TimePoint::epoch() + Duration::seconds(30));
+  ASSERT_EQ(cluster.api().pod("blocker").phase, cluster::PodPhase::kRunning);
+  // ...then two node-filling pods contend for the single free node. The
+  // later-submitted but higher-priority pod must win the first slot.
+  cluster.api().submit(sgx_pod("first-normal", Pages{23'000},
+                               Duration::minutes(2), 0));
+  cluster.api().submit(sgx_pod("second-urgent", Pages{23'000},
+                               Duration::minutes(2), 5));
+  cluster.sim().run_until(TimePoint::epoch() + Duration::minutes(20));
+  cluster.stop_all();
+  const auto& urgent = cluster.api().pod("second-urgent");
+  const auto& normal = cluster.api().pod("first-normal");
+  ASSERT_TRUE(urgent.started.has_value());
+  ASSERT_TRUE(normal.started.has_value());
+  EXPECT_LT(*urgent.started, *normal.started);
+}
+
+}  // namespace
+}  // namespace sgxo::core

@@ -1,0 +1,178 @@
+// Behavioural tests of the SGX-aware scheduler against a live simulated
+// cluster with the full monitoring pipeline.
+#include "core/sgx_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/fixture.hpp"
+
+namespace sgxo::core {
+namespace {
+
+using namespace sgxo::literals;
+
+cluster::PodSpec sgx_pod(const std::string& name, Pages request,
+                         Bytes actual, Duration duration) {
+  cluster::PodBehavior behavior;
+  behavior.sgx = true;
+  behavior.actual_usage = actual;
+  behavior.duration = duration;
+  return cluster::make_stressor_pod(name, {0_B, request}, {0_B, request},
+                                    behavior);
+}
+
+cluster::PodSpec standard_pod(const std::string& name, Bytes request,
+                              Bytes actual, Duration duration) {
+  cluster::PodBehavior behavior;
+  behavior.actual_usage = actual;
+  behavior.duration = duration;
+  return cluster::make_stressor_pod(name, {request, Pages{0}},
+                                    {request, Pages{0}}, behavior);
+}
+
+TEST(SgxScheduler, DefaultNamesDeriveFromPolicy) {
+  EXPECT_EQ(SgxAwareScheduler::default_name(PlacementPolicy::kBinpack),
+            "sgx-binpack");
+  EXPECT_EQ(SgxAwareScheduler::default_name(PlacementPolicy::kSpread),
+            "sgx-spread");
+}
+
+TEST(SgxScheduler, SchedulesSgxPodOntoSgxNode) {
+  exp::SimulatedCluster cluster;
+  auto& scheduler = cluster.add_sgx_scheduler(PlacementPolicy::kBinpack);
+  cluster.api().set_default_scheduler(scheduler.name());
+  cluster.start_monitoring();
+  cluster.api().submit(sgx_pod("e", Pages{1024}, 4_MiB,
+                               Duration::seconds(30)));
+  ASSERT_TRUE(cluster.run_until_quiescent(1, Duration::minutes(10)));
+  cluster.stop_all();
+  const orch::PodRecord& record = cluster.api().pod("e");
+  EXPECT_EQ(record.phase, cluster::PodPhase::kSucceeded);
+  EXPECT_TRUE(record.node == "sgx-1" || record.node == "sgx-2");
+}
+
+TEST(SgxScheduler, StandardPodsAvoidSgxNodes) {
+  exp::SimulatedCluster cluster;
+  auto& scheduler = cluster.add_sgx_scheduler(PlacementPolicy::kBinpack);
+  cluster.api().set_default_scheduler(scheduler.name());
+  cluster.start_monitoring();
+  for (int i = 0; i < 8; ++i) {
+    cluster.api().submit(standard_pod("std-" + std::to_string(i), 4_GiB,
+                                      4_GiB, Duration::seconds(60)));
+  }
+  ASSERT_TRUE(cluster.run_until_quiescent(8, Duration::minutes(30)));
+  cluster.stop_all();
+  for (int i = 0; i < 8; ++i) {
+    const auto& record = cluster.api().pod("std-" + std::to_string(i));
+    EXPECT_TRUE(record.node == "node-1" || record.node == "node-2")
+        << record.node;
+  }
+}
+
+TEST(SgxScheduler, MeasuredUsageAllowsPackingBeyondDeclarations) {
+  // Two pods each *declare* 60 % of the EPC but *use* only 10 %. A
+  // request-only scheduler could never co-locate them; the SGX-aware
+  // scheduler sees the measured usage... but the device plugin's page
+  // accounting still forbids co-location (no over-commitment, §V-A), so
+  // they must land on *different* SGX nodes instead of queueing.
+  exp::SimulatedCluster cluster;
+  auto& scheduler = cluster.add_sgx_scheduler(PlacementPolicy::kBinpack);
+  cluster.api().set_default_scheduler(scheduler.name());
+  cluster.start_monitoring();
+  const Pages declared{14'000};  // ~60 % of 23 936
+  cluster.api().submit(sgx_pod("e1", declared, 8_MiB, Duration::minutes(5)));
+  cluster.api().submit(sgx_pod("e2", declared, 8_MiB, Duration::minutes(5)));
+  cluster.sim().run_until(TimePoint::epoch() + Duration::minutes(1));
+  const auto& r1 = cluster.api().pod("e1");
+  const auto& r2 = cluster.api().pod("e2");
+  EXPECT_EQ(r1.phase, cluster::PodPhase::kRunning);
+  EXPECT_EQ(r2.phase, cluster::PodPhase::kRunning);
+  EXPECT_NE(r1.node, r2.node);
+  cluster.stop_all();
+}
+
+TEST(SgxScheduler, MeasuredUsageBlocksUnderDeclaredSquatter) {
+  // Inverse case (the Fig. 11 mechanism): a squatter declares 1 page but
+  // uses half the EPC of its node. Without enforcement the usage shows up
+  // in the metrics, so a later honest pod requesting 60 % of the EPC must
+  // not be placed on the squatter's node.
+  exp::ClusterConfig config;
+  config.enforce_epc_limits = false;
+  exp::SimulatedCluster cluster{config};
+  auto& scheduler = cluster.add_sgx_scheduler(PlacementPolicy::kBinpack);
+  cluster.api().set_default_scheduler(scheduler.name());
+  cluster.start_monitoring();
+
+  cluster.api().submit(sgx_pod("squatter", Pages{1}, mib(46.75),
+                               Duration::hours(1)));
+  // Let the squatter start and the probes observe it.
+  cluster.sim().run_until(TimePoint::epoch() + Duration::seconds(40));
+  const cluster::NodeName squat_node = cluster.api().pod("squatter").node;
+
+  cluster.api().submit(sgx_pod("honest", Pages{14'000}, 8_MiB,
+                               Duration::minutes(1)));
+  cluster.sim().run_until(TimePoint::epoch() + Duration::minutes(2));
+  const auto& honest = cluster.api().pod("honest");
+  EXPECT_EQ(honest.phase, cluster::PodPhase::kSucceeded);
+  EXPECT_NE(honest.node, squat_node);
+  cluster.stop_all();
+}
+
+TEST(SgxScheduler, PendingPodWaitsForCapacity) {
+  exp::SimulatedCluster cluster;
+  auto& scheduler = cluster.add_sgx_scheduler(PlacementPolicy::kBinpack);
+  cluster.api().set_default_scheduler(scheduler.name());
+  cluster.start_monitoring();
+  // Two EPC-filling pods occupy both SGX nodes; a third must wait.
+  for (int i = 1; i <= 2; ++i) {
+    cluster.api().submit(sgx_pod("big-" + std::to_string(i), Pages{23'000},
+                                 mib(89.0), Duration::minutes(2)));
+  }
+  cluster.api().submit(sgx_pod("late", Pages{23'000}, mib(89.0),
+                               Duration::minutes(2)));
+  cluster.sim().run_until(TimePoint::epoch() + Duration::minutes(1));
+  EXPECT_EQ(cluster.api().pod("late").phase, cluster::PodPhase::kPending);
+  ASSERT_TRUE(cluster.run_until_quiescent(3, Duration::minutes(30)));
+  EXPECT_EQ(cluster.api().pod("late").phase, cluster::PodPhase::kSucceeded);
+  // The late pod waited at least until a big pod finished.
+  EXPECT_GE(*cluster.api().pod("late").waiting_time(),
+            Duration::minutes(1));
+  cluster.stop_all();
+}
+
+TEST(SgxScheduler, BothPoliciesRunSideBySide) {
+  // §V-B: multiple schedulers operate concurrently; pods select one.
+  exp::SimulatedCluster cluster;
+  auto& binpack = cluster.add_sgx_scheduler(PlacementPolicy::kBinpack);
+  auto& spread = cluster.add_sgx_scheduler(PlacementPolicy::kSpread);
+  cluster.start_monitoring();
+  auto p1 = standard_pod("via-binpack", 1_GiB, 1_GiB, Duration::seconds(30));
+  p1.scheduler_name = binpack.name();
+  auto p2 = standard_pod("via-spread", 1_GiB, 1_GiB, Duration::seconds(30));
+  p2.scheduler_name = spread.name();
+  cluster.api().submit(p1);
+  cluster.api().submit(p2);
+  ASSERT_TRUE(cluster.run_until_quiescent(2, Duration::minutes(10)));
+  cluster.stop_all();
+  EXPECT_EQ(binpack.total_bound(), 1u);
+  EXPECT_EQ(spread.total_bound(), 1u);
+}
+
+TEST(SgxScheduler, CustomNameOverride) {
+  exp::SimulatedCluster cluster;
+  auto& scheduler =
+      cluster.add_sgx_scheduler(PlacementPolicy::kBinpack, "my-sched");
+  EXPECT_EQ(scheduler.name(), "my-sched");
+  EXPECT_EQ(scheduler.policy(), PlacementPolicy::kBinpack);
+}
+
+TEST(SgxScheduler, MetricsWindowConfigurable) {
+  exp::ClusterConfig config;
+  config.metrics_window = Duration::seconds(40);
+  exp::SimulatedCluster cluster{config};
+  auto& scheduler = cluster.add_sgx_scheduler(PlacementPolicy::kBinpack);
+  EXPECT_EQ(scheduler.metrics().window(), Duration::seconds(40));
+}
+
+}  // namespace
+}  // namespace sgxo::core

@@ -1,0 +1,117 @@
+// The analytical planner validated against the simulator: stability
+// boundary, order-of-magnitude makespan agreement across the Fig. 7 EPC
+// sweep, and monotonicity.
+#include "exp/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/replay.hpp"
+#include "trace/generator.hpp"
+#include "trace/sgx_mix.hpp"
+
+namespace sgxo::exp {
+namespace {
+
+using namespace sgxo::literals;
+
+std::vector<trace::TraceJob> all_sgx_slice() {
+  auto jobs = trace::BorgTraceGenerator{}.evaluation_slice();
+  Rng rng{42};
+  trace::designate_sgx(jobs, 1.0, rng);
+  return jobs;
+}
+
+TEST(Planner, SummaryFromJobs) {
+  const auto jobs = all_sgx_slice();
+  const WorkloadSummary summary = WorkloadSummary::from_jobs(jobs);
+  EXPECT_EQ(summary.sgx_jobs, 663u);
+  EXPECT_GT(summary.span, Duration::minutes(50));
+  EXPECT_LE(summary.span, Duration::hours(1));
+  // Mean request ~0.13 fraction × 93.5 MiB ≈ 6–20 MiB.
+  EXPECT_GT(summary.mean_epc_request, 2_MiB);
+  EXPECT_LT(summary.mean_epc_request, 30_MiB);
+  EXPECT_GT(summary.mean_duration, Duration::seconds(30));
+  EXPECT_LT(summary.mean_duration, Duration::seconds(200));
+}
+
+TEST(Planner, EmptyWorkloadIsTriviallyStable) {
+  auto jobs = trace::BorgTraceGenerator{}.evaluation_slice();  // no SGX
+  const WorkloadSummary summary = WorkloadSummary::from_jobs(jobs);
+  EXPECT_EQ(summary.sgx_jobs, 0u);
+  const PlanEstimate plan = estimate(summary, ClusterCapacity{});
+  EXPECT_TRUE(plan.stable);
+  EXPECT_DOUBLE_EQ(plan.utilization, 0.0);
+}
+
+TEST(Planner, ConfigValidation) {
+  WorkloadSummary summary = WorkloadSummary::from_jobs(all_sgx_slice());
+  ClusterCapacity zero;
+  zero.sgx_nodes = 0;
+  EXPECT_THROW((void)estimate(summary, zero), ContractViolation);
+}
+
+TEST(Planner, UtilizationScalesInverselyWithCapacity) {
+  const WorkloadSummary summary = WorkloadSummary::from_jobs(all_sgx_slice());
+  ClusterCapacity small;
+  small.usable_epc_per_node = mib(23.4);
+  ClusterCapacity big;
+  big.usable_epc_per_node = mib(187.0);
+  const PlanEstimate tight = estimate(summary, small);
+  const PlanEstimate roomy = estimate(summary, big);
+  // mib() truncates to whole bytes, so the ratio is near-exactly 8.
+  EXPECT_NEAR(tight.utilization / roomy.utilization, 8.0, 0.05);
+  EXPECT_GT(tight.makespan, roomy.makespan);
+  EXPECT_GE(tight.mean_wait, roomy.mean_wait);
+}
+
+TEST(Planner, StabilityBoundaryMatchesFig7) {
+  // The Fig. 7 finding: 256 MiB shows no contention, 32/64 MiB drown.
+  const WorkloadSummary summary = WorkloadSummary::from_jobs(all_sgx_slice());
+  const auto for_usable = [&](double usable_mib) {
+    ClusterCapacity cluster;
+    cluster.usable_epc_per_node = mib(usable_mib);
+    return estimate(summary, cluster);
+  };
+  EXPECT_FALSE(for_usable(23.4).stable);   // "32 MiB"
+  EXPECT_FALSE(for_usable(46.8).stable);   // "64 MiB"
+  EXPECT_TRUE(for_usable(187.0).stable);   // "256 MiB"
+}
+
+TEST(Planner, MakespanWithinFactorTwoOfSimulation) {
+  // The planner must land in the simulator's ballpark across the sweep.
+  const auto jobs = all_sgx_slice();
+  const WorkloadSummary summary = WorkloadSummary::from_jobs(jobs);
+  for (const double raw_mib : {32.0, 64.0, 128.0, 256.0}) {
+    const double usable_mib = raw_mib * 93.5 / 128.0;
+
+    ClusterCapacity cluster;
+    cluster.usable_epc_per_node = mib(usable_mib);
+    const PlanEstimate plan = estimate(summary, cluster);
+
+    ReplayOptions options;
+    options.sgx_fraction = 1.0;
+    options.epc_usable_override = mib(usable_mib);
+    const ReplayResult sim = run_replay(options);
+    ASSERT_TRUE(sim.completed) << raw_mib;
+
+    const double ratio =
+        plan.makespan.as_seconds() / sim.makespan.as_seconds();
+    EXPECT_GT(ratio, 0.5) << "EPC " << raw_mib << " MiB";
+    EXPECT_LT(ratio, 2.0) << "EPC " << raw_mib << " MiB";
+  }
+}
+
+TEST(Planner, MakespanMonotoneInCapacity) {
+  const WorkloadSummary summary = WorkloadSummary::from_jobs(all_sgx_slice());
+  Duration prev = Duration::hours(10'000);
+  for (const double usable_mib : {12.0, 23.4, 46.8, 93.5, 187.0, 374.0}) {
+    ClusterCapacity cluster;
+    cluster.usable_epc_per_node = mib(usable_mib);
+    const Duration makespan = estimate(summary, cluster).makespan;
+    EXPECT_LE(makespan, prev) << usable_mib;
+    prev = makespan;
+  }
+}
+
+}  // namespace
+}  // namespace sgxo::exp

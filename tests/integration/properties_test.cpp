@@ -1,0 +1,142 @@
+// Property-based invariant sweeps over the full stack, parameterised by
+// placement policy, SGX-job fraction and RNG seed (TEST_P /
+// INSTANTIATE_TEST_SUITE_P). Each replay uses a reduced 100-job slice for
+// speed; invariants must hold for every parameter combination.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exp/replay.hpp"
+#include "workload/stressor.hpp"
+
+namespace sgxo::exp {
+namespace {
+
+struct ReplayParams {
+  core::PlacementPolicy policy;
+  double sgx_fraction;
+  std::uint64_t seed;
+
+  friend std::ostream& operator<<(std::ostream& os, const ReplayParams& p) {
+    return os << core::to_string(p.policy) << "_sgx"
+              << static_cast<int>(p.sgx_fraction * 100) << "_seed" << p.seed;
+  }
+};
+
+ReplayOptions options_for(const ReplayParams& params) {
+  ReplayOptions options;
+  options.policy = params.policy;
+  options.sgx_fraction = params.sgx_fraction;
+  options.seed = params.seed;
+  options.trace_config.seed = params.seed;
+  options.trace_config.slice_jobs = 100;
+  options.trace_config.over_allocating_jobs = 7;
+  options.trace_config.slice_end =
+      options.trace_config.slice_start + Duration::seconds(900);
+  options.deadline = Duration::hours(12);
+  return options;
+}
+
+class ReplayProperties : public ::testing::TestWithParam<ReplayParams> {
+ protected:
+  static const ReplayResult& result() {
+    // One replay per parameter combination, shared across assertions.
+    static std::map<std::string, ReplayResult> cache;
+    std::ostringstream key;
+    key << GetParam();
+    auto it = cache.find(key.str());
+    if (it == cache.end()) {
+      it = cache.emplace(key.str(), run_replay(options_for(GetParam())))
+               .first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(ReplayProperties, AllJobsReachTerminalState) {
+  ASSERT_TRUE(result().completed);
+  EXPECT_EQ(result().jobs.size(), 100u);
+}
+
+TEST_P(ReplayProperties, MetricsAreInternallyConsistent) {
+  for (const JobOutcome& job : result().jobs) {
+    if (job.failed) {
+      // Killed jobs never ran.
+      EXPECT_FALSE(job.waiting.has_value()) << job.pod;
+      continue;
+    }
+    ASSERT_TRUE(job.waiting.has_value()) << job.pod;
+    ASSERT_TRUE(job.turnaround.has_value()) << job.pod;
+    EXPECT_GE(*job.waiting, Duration{}) << job.pod;
+    // Turnaround covers waiting plus at least the trace runtime.
+    EXPECT_GE(*job.turnaround, *job.waiting + job.trace_duration) << job.pod;
+  }
+}
+
+TEST_P(ReplayProperties, OnlyOverAllocatorsFail) {
+  std::size_t failures = 0;
+  for (const JobOutcome& job : result().jobs) {
+    if (!job.failed) continue;
+    ++failures;
+    EXPECT_EQ(job.failure_reason, "EpcLimitExceeded") << job.pod;
+    EXPECT_TRUE(job.sgx) << job.pod;
+    EXPECT_GT(job.actual, job.requested) << job.pod;
+  }
+  EXPECT_EQ(failures, result().failed_jobs);
+  // Never more kills than the 7 over-allocators in the slice.
+  EXPECT_LE(failures, 7u);
+}
+
+TEST_P(ReplayProperties, SgxMixMatchesDesignation) {
+  const auto expected =
+      static_cast<std::size_t>(GetParam().sgx_fraction * 100);
+  std::size_t sgx_jobs = 0;
+  for (const JobOutcome& job : result().jobs) {
+    if (job.sgx) ++sgx_jobs;
+  }
+  EXPECT_EQ(sgx_jobs, expected);
+}
+
+TEST_P(ReplayProperties, PendingSeriesIsSane) {
+  for (const PendingSample& sample : result().pending_series) {
+    // A pending pod requests either EPC or memory; totals are bounded by
+    // the whole workload's footprint.
+    EXPECT_LE(sample.epc_requested.as_mib(), 100.0 * 93.5);
+    EXPECT_LE(sample.pending_pods, 100u);
+  }
+}
+
+TEST_P(ReplayProperties, DeterministicAcrossRuns) {
+  const ReplayResult second = run_replay(options_for(GetParam()));
+  ASSERT_EQ(second.jobs.size(), result().jobs.size());
+  EXPECT_EQ(second.makespan, result().makespan);
+  for (std::size_t i = 0; i < second.jobs.size(); ++i) {
+    EXPECT_EQ(second.jobs[i].pod, result().jobs[i].pod);
+    EXPECT_EQ(second.jobs[i].waiting, result().jobs[i].waiting);
+    EXPECT_EQ(second.jobs[i].turnaround, result().jobs[i].turnaround);
+    EXPECT_EQ(second.jobs[i].failed, result().jobs[i].failed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyFractionSeedSweep, ReplayProperties,
+    ::testing::Values(
+        ReplayParams{core::PlacementPolicy::kBinpack, 0.0, 1},
+        ReplayParams{core::PlacementPolicy::kBinpack, 0.25, 1},
+        ReplayParams{core::PlacementPolicy::kBinpack, 0.5, 1},
+        ReplayParams{core::PlacementPolicy::kBinpack, 1.0, 1},
+        ReplayParams{core::PlacementPolicy::kSpread, 0.0, 1},
+        ReplayParams{core::PlacementPolicy::kSpread, 0.5, 1},
+        ReplayParams{core::PlacementPolicy::kSpread, 1.0, 1},
+        ReplayParams{core::PlacementPolicy::kBinpack, 0.5, 7},
+        ReplayParams{core::PlacementPolicy::kSpread, 0.5, 7},
+        ReplayParams{core::PlacementPolicy::kBinpack, 1.0, 99},
+        ReplayParams{core::PlacementPolicy::kSpread, 1.0, 99}),
+    [](const ::testing::TestParamInfo<ReplayParams>& info) {
+      std::ostringstream os;
+      os << info.param;
+      return os.str();
+    });
+
+}  // namespace
+}  // namespace sgxo::exp

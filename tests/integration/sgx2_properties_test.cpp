@@ -1,0 +1,74 @@
+// Property sweep over SGX 2 dynamic-memory replays (TEST_P): for every
+// build-time fraction, the replay completes, enforcement still kills
+// exactly the over-allocators, and the SGX 2 cluster never does worse
+// than the SGX 1 baseline on the same workload.
+#include <gtest/gtest.h>
+
+#include "exp/replay.hpp"
+
+namespace sgxo::exp {
+namespace {
+
+ReplayOptions base_options() {
+  ReplayOptions options;
+  options.sgx_fraction = 1.0;
+  options.trace_config.slice_jobs = 150;
+  options.trace_config.over_allocating_jobs = 10;
+  options.trace_config.slice_end =
+      options.trace_config.slice_start + Duration::seconds(1200);
+  options.deadline = Duration::hours(12);
+  return options;
+}
+
+class Sgx2Sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Sgx2Sweep, CompletesAndEnforcesAtEveryFraction) {
+  ReplayOptions options = base_options();
+  options.sgx_version = sgx::SgxVersion::kSgx2;
+  options.initial_usage_fraction = GetParam();
+  const ReplayResult result = run_replay(options);
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.jobs.size(), 150u);
+  // The ported growth-time enforcement still kills every over-allocator.
+  EXPECT_EQ(result.failed_jobs, 10u);
+  for (const JobOutcome& job : result.jobs) {
+    if (job.failed) {
+      EXPECT_EQ(job.failure_reason, "EpcLimitExceeded") << job.pod;
+    }
+  }
+}
+
+TEST_P(Sgx2Sweep, NeverWorseThanSgx1Baseline) {
+  const ReplayResult sgx1 = run_replay(base_options());
+
+  ReplayOptions options = base_options();
+  options.sgx_version = sgx::SgxVersion::kSgx2;
+  options.initial_usage_fraction = GetParam();
+  const ReplayResult sgx2 = run_replay(options);
+
+  // Requests shrink to the typical footprint, startups commit less at
+  // build time: makespan and mean waiting must not regress.
+  ASSERT_TRUE(sgx1.completed);
+  ASSERT_TRUE(sgx2.completed);
+  EXPECT_LE(sgx2.makespan, sgx1.makespan + Duration::minutes(1));
+
+  const auto mean = [](const std::vector<double>& xs) {
+    double sum = 0.0;
+    for (const double x : xs) sum += x;
+    return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+  };
+  EXPECT_LE(mean(sgx2.waiting_seconds()),
+            mean(sgx1.waiting_seconds()) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BuildFractions, Sgx2Sweep,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "initial" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace sgxo::exp

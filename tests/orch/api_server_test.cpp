@@ -1,0 +1,187 @@
+#include "orch/api_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sgxo::orch {
+namespace {
+
+using namespace sgxo::literals;
+
+cluster::MachineSpec machine(const std::string& name, bool sgx = false,
+                             bool master = false) {
+  cluster::MachineSpec spec;
+  spec.name = name;
+  spec.cpu_cores = 4;
+  spec.memory = 64_GiB;
+  if (sgx) spec.epc = sgx::EpcConfig::sgx1();
+  spec.is_master = master;
+  return spec;
+}
+
+cluster::PodSpec pod(const std::string& name,
+                     const std::string& scheduler = "",
+                     Duration duration = Duration::seconds(10)) {
+  cluster::PodBehavior behavior;
+  behavior.actual_usage = 1_GiB;
+  behavior.duration = duration;
+  return cluster::make_stressor_pod(name, {1_GiB, Pages{0}},
+                                    {1_GiB, Pages{0}}, behavior, scheduler);
+}
+
+class ApiServerFixture : public ::testing::Test {
+ protected:
+  ApiServerFixture()
+      : api_(sim_),
+        node_a_(machine("node-a")),
+        node_b_(machine("node-b", /*sgx=*/true)),
+        master_(machine("master", false, /*master=*/true)),
+        kubelet_a_(sim_, node_a_, perf_, registry_, api_),
+        kubelet_b_(sim_, node_b_, perf_, registry_, api_),
+        kubelet_m_(sim_, master_, perf_, registry_, api_) {
+    api_.register_node(node_a_, kubelet_a_);
+    api_.register_node(node_b_, kubelet_b_);
+    api_.register_node(master_, kubelet_m_);
+  }
+
+  sim::Simulation sim_;
+  ApiServer api_;
+  sgx::PerfModel perf_;
+  cluster::ImageRegistry registry_;
+  cluster::Node node_a_;
+  cluster::Node node_b_;
+  cluster::Node master_;
+  cluster::Kubelet kubelet_a_;
+  cluster::Kubelet kubelet_b_;
+  cluster::Kubelet kubelet_m_;
+};
+
+TEST_F(ApiServerFixture, SchedulableNodesExcludeMaster) {
+  EXPECT_EQ(api_.all_nodes().size(), 3u);
+  const auto schedulable = api_.schedulable_nodes();
+  ASSERT_EQ(schedulable.size(), 2u);
+  for (const auto& entry : schedulable) {
+    EXPECT_NE(entry.node->name(), "master");
+  }
+}
+
+TEST_F(ApiServerFixture, DuplicateNodeNameRejected) {
+  cluster::Node dup{machine("node-a")};
+  cluster::Kubelet kubelet{sim_, dup, perf_, registry_, api_};
+  EXPECT_THROW(api_.register_node(dup, kubelet), ContractViolation);
+}
+
+TEST_F(ApiServerFixture, FindNode) {
+  ASSERT_NE(api_.find_node("node-b"), nullptr);
+  EXPECT_TRUE(api_.find_node("node-b")->node->has_sgx());
+  EXPECT_EQ(api_.find_node("ghost"), nullptr);
+}
+
+TEST_F(ApiServerFixture, SubmitRecordsTimestampAndPhase) {
+  sim_.run_until(TimePoint::epoch() + Duration::seconds(42));
+  api_.submit(pod("p1"));
+  const PodRecord& record = api_.pod("p1");
+  EXPECT_EQ(record.phase, cluster::PodPhase::kPending);
+  EXPECT_EQ(record.submitted, TimePoint::epoch() + Duration::seconds(42));
+  EXPECT_FALSE(record.waiting_time().has_value());
+  EXPECT_FALSE(record.turnaround_time().has_value());
+}
+
+TEST_F(ApiServerFixture, SubmitRejectsDuplicatesAndUnnamed) {
+  api_.submit(pod("p1"));
+  EXPECT_THROW(api_.submit(pod("p1")), ContractViolation);
+  cluster::PodSpec unnamed = pod("x");
+  unnamed.name.clear();
+  EXPECT_THROW(api_.submit(unnamed), ContractViolation);
+}
+
+TEST_F(ApiServerFixture, PendingQueueIsFcfsPerScheduler) {
+  api_.set_default_scheduler("sched-x");
+  api_.submit(pod("p1", ""));          // default → sched-x
+  api_.submit(pod("p2", "sched-y"));
+  api_.submit(pod("p3", "sched-x"));
+  EXPECT_EQ(api_.pending_pods("sched-x"),
+            (std::vector<cluster::PodName>{"p1", "p3"}));
+  EXPECT_EQ(api_.pending_pods("sched-y"),
+            (std::vector<cluster::PodName>{"p2"}));
+  EXPECT_TRUE(api_.pending_pods("other").empty());
+}
+
+TEST_F(ApiServerFixture, BindDeliversToKubeletAndTracksAssignment) {
+  api_.submit(pod("p1"));
+  api_.bind("p1", "node-a");
+  EXPECT_EQ(api_.pod("p1").phase, cluster::PodPhase::kBound);
+  EXPECT_EQ(api_.pod("p1").node, "node-a");
+  EXPECT_EQ(api_.assigned_pods("node-a"),
+            std::vector<cluster::PodName>{"p1"});
+  EXPECT_TRUE(api_.pending_pods(api_.default_scheduler()).empty());
+  // The Kubelet actually received it.
+  sim_.run();
+  EXPECT_EQ(api_.pod("p1").phase, cluster::PodPhase::kSucceeded);
+}
+
+TEST_F(ApiServerFixture, BindValidation) {
+  api_.submit(pod("p1"));
+  EXPECT_THROW(api_.bind("ghost", "node-a"), ContractViolation);
+  EXPECT_THROW(api_.bind("p1", "ghost-node"), ContractViolation);
+  EXPECT_THROW(api_.bind("p1", "master"), ContractViolation);
+  api_.bind("p1", "node-a");
+  EXPECT_THROW(api_.bind("p1", "node-a"), ContractViolation);
+}
+
+TEST_F(ApiServerFixture, LifecycleTimestampsProduceMetrics) {
+  api_.submit(pod("p1", "", Duration::seconds(30)));
+  sim_.run_until(TimePoint::epoch() + Duration::seconds(5));
+  api_.bind("p1", "node-a");
+  sim_.run();
+  const PodRecord& record = api_.pod("p1");
+  EXPECT_EQ(record.phase, cluster::PodPhase::kSucceeded);
+  ASSERT_TRUE(record.waiting_time().has_value());
+  ASSERT_TRUE(record.turnaround_time().has_value());
+  // Waiting ≥ the 5 s the pod sat pending; turnaround ≥ waiting + 30 s run.
+  EXPECT_GE(*record.waiting_time(), Duration::seconds(5));
+  EXPECT_GE(*record.turnaround_time(),
+            *record.waiting_time() + Duration::seconds(30));
+  // Terminal pods are no longer assigned to the node.
+  EXPECT_TRUE(api_.assigned_pods("node-a").empty());
+}
+
+TEST_F(ApiServerFixture, EventsAreChronological) {
+  api_.submit(pod("p1"));
+  api_.bind("p1", "node-a");
+  sim_.run();
+  const auto& events = api_.events();
+  ASSERT_GE(events.size(), 4u);
+  EXPECT_EQ(events[0].message, "Submitted");
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+}
+
+TEST_F(ApiServerFixture, AllPodsInSubmissionOrder) {
+  api_.submit(pod("z"));
+  api_.submit(pod("a"));
+  const auto pods = api_.all_pods();
+  ASSERT_EQ(pods.size(), 2u);
+  EXPECT_EQ(pods[0]->spec.name, "z");
+  EXPECT_EQ(pods[1]->spec.name, "a");
+  EXPECT_TRUE(api_.has_pod("z"));
+  EXPECT_FALSE(api_.has_pod("nope"));
+  EXPECT_THROW((void)api_.pod("nope"), ContractViolation);
+}
+
+TEST_F(ApiServerFixture, FailureRecordsReason) {
+  api_.submit(pod("p1"));
+  api_.bind("p1", "node-a");
+  // Simulate a kubelet-reported failure before completion.
+  api_.on_pod_failed("p1", "SomethingBroke");
+  const PodRecord& record = api_.pod("p1");
+  EXPECT_EQ(record.phase, cluster::PodPhase::kFailed);
+  EXPECT_EQ(record.failure_reason, "SomethingBroke");
+  EXPECT_TRUE(record.turnaround_time().has_value());
+  EXPECT_FALSE(record.waiting_time().has_value());
+}
+
+}  // namespace
+}  // namespace sgxo::orch

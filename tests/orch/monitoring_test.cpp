@@ -1,0 +1,191 @@
+// Tests for the monitoring pipeline: Heapster, the SGX probe and its
+// DaemonSet controller, all pushing into the shared time-series database.
+#include <gtest/gtest.h>
+
+#include "orch/api_server.hpp"
+#include "orch/daemonset.hpp"
+#include "orch/heapster.hpp"
+#include "orch/sgx_probe.hpp"
+#include "tsdb/ql/executor.hpp"
+
+namespace sgxo::orch {
+namespace {
+
+using namespace sgxo::literals;
+
+cluster::MachineSpec machine(const std::string& name, bool sgx) {
+  cluster::MachineSpec spec;
+  spec.name = name;
+  spec.cpu_cores = 4;
+  spec.memory = sgx ? 8_GiB : 64_GiB;
+  if (sgx) spec.epc = sgx::EpcConfig::sgx1();
+  return spec;
+}
+
+cluster::PodSpec sgx_pod(const std::string& name, Pages pages,
+                         Duration duration) {
+  cluster::PodBehavior behavior;
+  behavior.sgx = true;
+  behavior.actual_usage = pages.as_bytes();
+  behavior.duration = duration;
+  return cluster::make_stressor_pod(name, {0_B, pages}, {0_B, pages},
+                                    behavior);
+}
+
+cluster::PodSpec standard_pod(const std::string& name, Bytes mem,
+                              Duration duration) {
+  cluster::PodBehavior behavior;
+  behavior.actual_usage = mem;
+  behavior.duration = duration;
+  return cluster::make_stressor_pod(name, {mem, Pages{0}}, {mem, Pages{0}},
+                                    behavior);
+}
+
+class MonitoringFixture : public ::testing::Test {
+ protected:
+  MonitoringFixture()
+      : api_(sim_),
+        std_node_(machine("node-1", false)),
+        sgx_node_(machine("sgx-1", true)),
+        std_kubelet_(sim_, std_node_, perf_, registry_, api_),
+        sgx_kubelet_(sim_, sgx_node_, perf_, registry_, api_) {
+    api_.register_node(std_node_, std_kubelet_);
+    api_.register_node(sgx_node_, sgx_kubelet_);
+  }
+
+  sim::Simulation sim_;
+  ApiServer api_;
+  sgx::PerfModel perf_;
+  cluster::ImageRegistry registry_;
+  cluster::Node std_node_;
+  cluster::Node sgx_node_;
+  cluster::Kubelet std_kubelet_;
+  cluster::Kubelet sgx_kubelet_;
+  tsdb::Database db_;
+};
+
+TEST_F(MonitoringFixture, HeapsterWritesPerPodMemorySamples) {
+  Heapster heapster{sim_, api_, db_, Duration::seconds(10)};
+  heapster.start();
+  api_.submit(standard_pod("mem-pod", 4_GiB, Duration::minutes(5)));
+  api_.bind("mem-pod", "node-1");
+  sim_.run_until(TimePoint::epoch() + Duration::seconds(35));
+  heapster.stop();
+
+  const tsdb::ql::ResultSet result = tsdb::ql::query(
+      "SELECT MAX(value) AS mem FROM \"memory/usage\" GROUP BY pod_name, "
+      "nodename",
+      db_, sim_.now());
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.value_for("pod_name", "mem-pod", "mem"),
+                   static_cast<double>((4_GiB).count()));
+  EXPECT_EQ(result.rows[0].tags.at("nodename"), "node-1");
+  EXPECT_EQ(heapster.scrape_count(), 3u);
+}
+
+TEST_F(MonitoringFixture, HeapsterEnforcesRetention) {
+  Heapster heapster{sim_, api_, db_, Duration::seconds(10),
+                    Duration::seconds(60)};
+  heapster.start();
+  api_.submit(standard_pod("long", 1_GiB, Duration::hours(2)));
+  api_.bind("long", "node-1");
+  sim_.run_until(TimePoint::epoch() + Duration::minutes(30));
+  heapster.stop();
+  // Retention keeps ~6 samples (60 s window at 10 s period) per series.
+  EXPECT_LE(db_.total_points(), 8u);
+}
+
+TEST_F(MonitoringFixture, SgxProbeReportsPodEpcInBytes) {
+  api_.submit(sgx_pod("enclave", Pages{2048}, Duration::minutes(5)));
+  api_.bind("enclave", "sgx-1");
+  SgxProbe probe{sim_, *api_.find_node("sgx-1"), db_, Duration::seconds(10)};
+  probe.start();
+  sim_.run_until(TimePoint::epoch() + Duration::seconds(25));
+  probe.stop();
+
+  const tsdb::ql::ResultSet result = tsdb::ql::query(
+      "SELECT MAX(value) AS epc FROM \"sgx/epc\" WHERE value <> 0 "
+      "GROUP BY pod_name, nodename",
+      db_, sim_.now());
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.value_for("pod_name", "enclave", "epc"),
+                   static_cast<double>(Pages{2048}.as_bytes().count()));
+}
+
+TEST_F(MonitoringFixture, ProbeRejectsNonSgxNode) {
+  EXPECT_THROW(SgxProbe(sim_, *api_.find_node("node-1"), db_),
+               ContractViolation);
+}
+
+TEST_F(MonitoringFixture, ProbeReportsZeroAfterPodEnds) {
+  api_.submit(sgx_pod("short", Pages{1024}, Duration::seconds(15)));
+  api_.bind("short", "sgx-1");
+  SgxProbe probe{sim_, *api_.find_node("sgx-1"), db_, Duration::seconds(10)};
+  probe.start();
+  sim_.run_until(TimePoint::epoch() + Duration::seconds(60));
+  probe.stop();
+  // After the pod finished there is nothing to report: the last samples in
+  // a fresh 25 s window are empty.
+  const tsdb::ql::ResultSet result = tsdb::ql::query(
+      "SELECT MAX(value) AS epc FROM \"sgx/epc\" WHERE value <> 0 AND "
+      "time >= now() - 25s GROUP BY pod_name",
+      db_, sim_.now());
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST_F(MonitoringFixture, DaemonSetDeploysProbesOnSgxNodesOnly) {
+  ProbeDaemonSet daemonset{sim_, api_, db_};
+  daemonset.start();
+  EXPECT_EQ(daemonset.probe_count(), 1u);
+  EXPECT_TRUE(daemonset.has_probe("sgx-1"));
+  EXPECT_FALSE(daemonset.has_probe("node-1"));
+  daemonset.stop();
+}
+
+TEST_F(MonitoringFixture, DaemonSetRedeploysCrashedProbe) {
+  ProbeDaemonSet daemonset{sim_, api_, db_, Duration::seconds(10),
+                           Duration::seconds(30)};
+  daemonset.start();
+  daemonset.crash_probe("sgx-1");
+  EXPECT_EQ(daemonset.probe_count(), 0u);
+  // The next reconciliation (30 s period) replaces it — Kubernetes itself
+  // handles probe crashes (§V-C).
+  sim_.run_until(TimePoint::epoch() + Duration::seconds(31));
+  EXPECT_EQ(daemonset.probe_count(), 1u);
+  daemonset.stop();
+}
+
+TEST_F(MonitoringFixture, DaemonSetCoversNewSgxNode) {
+  ProbeDaemonSet daemonset{sim_, api_, db_, Duration::seconds(10),
+                           Duration::seconds(30)};
+  daemonset.start();
+  // A new SGX machine joins the cluster.
+  cluster::Node late{machine("sgx-2", true)};
+  cluster::Kubelet late_kubelet{sim_, late, perf_, registry_, api_};
+  api_.register_node(late, late_kubelet);
+  EXPECT_FALSE(daemonset.has_probe("sgx-2"));
+  sim_.run_until(TimePoint::epoch() + Duration::seconds(31));
+  EXPECT_TRUE(daemonset.has_probe("sgx-2"));
+  daemonset.stop();
+}
+
+TEST_F(MonitoringFixture, ProbeAndHeapsterShareDatabase) {
+  // The point of the shared schema: the scheduler can issue equivalent
+  // queries for SGX and non-SGX metrics (§V-C).
+  Heapster heapster{sim_, api_, db_, Duration::seconds(10)};
+  ProbeDaemonSet daemonset{sim_, api_, db_, Duration::seconds(10)};
+  heapster.start();
+  daemonset.start();
+  api_.submit(standard_pod("m", 1_GiB, Duration::minutes(2)));
+  api_.submit(sgx_pod("e", Pages{512}, Duration::minutes(2)));
+  api_.bind("m", "node-1");
+  api_.bind("e", "sgx-1");
+  sim_.run_until(TimePoint::epoch() + Duration::seconds(30));
+  heapster.stop();
+  daemonset.stop();
+  EXPECT_NE(db_.find("memory/usage"), nullptr);
+  EXPECT_NE(db_.find("sgx/epc"), nullptr);
+}
+
+}  // namespace
+}  // namespace sgxo::orch

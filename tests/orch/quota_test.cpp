@@ -1,0 +1,117 @@
+// Namespace ResourceQuota admission: per-tenant EPC and memory budgets.
+#include <gtest/gtest.h>
+
+#include "exp/fixture.hpp"
+
+namespace sgxo::orch {
+namespace {
+
+using namespace sgxo::literals;
+
+cluster::PodSpec pod(const std::string& name, const std::string& ns,
+                     Pages epc, Bytes memory,
+                     Duration duration = Duration::seconds(30)) {
+  cluster::PodBehavior behavior;
+  behavior.sgx = epc.count() > 0;
+  behavior.actual_usage = behavior.sgx ? epc.as_bytes() : memory;
+  behavior.duration = duration;
+  auto spec = cluster::make_stressor_pod(name, {memory, epc}, {memory, epc},
+                                         behavior);
+  spec.namespace_name = ns;
+  return spec;
+}
+
+class QuotaFixture : public ::testing::Test {
+ protected:
+  QuotaFixture() {
+    scheduler_ = &cluster_.add_sgx_scheduler(core::PlacementPolicy::kBinpack);
+    cluster_.api().set_default_scheduler(scheduler_->name());
+    cluster_.start_monitoring();
+  }
+  exp::SimulatedCluster cluster_;
+  core::SgxAwareScheduler* scheduler_ = nullptr;
+};
+
+TEST_F(QuotaFixture, NoQuotaMeansUnlimited) {
+  EXPECT_EQ(cluster_.api().quota("default"), std::nullopt);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NO_THROW(cluster_.api().submit(
+        pod("p" + std::to_string(i), "default", Pages{4000}, 0_B)));
+  }
+}
+
+TEST_F(QuotaFixture, EpcQuotaRejectsOverBudgetSubmission) {
+  cluster_.api().set_quota("tenant-a", ResourceQuota{0_B, Pages{10'000}});
+  cluster_.api().submit(pod("a1", "tenant-a", Pages{6000}, 0_B));
+  EXPECT_THROW(
+      cluster_.api().submit(pod("a2", "tenant-a", Pages{6000}, 0_B)),
+      QuotaExceeded);
+  // A smaller pod still fits the remaining budget.
+  EXPECT_NO_THROW(
+      cluster_.api().submit(pod("a3", "tenant-a", Pages{4000}, 0_B)));
+}
+
+TEST_F(QuotaFixture, MemoryQuotaEnforced) {
+  cluster_.api().set_quota("tenant-m", ResourceQuota{10_GiB, Pages{0}});
+  cluster_.api().submit(pod("m1", "tenant-m", Pages{0}, 8_GiB));
+  EXPECT_THROW(cluster_.api().submit(pod("m2", "tenant-m", Pages{0}, 4_GiB)),
+               QuotaExceeded);
+}
+
+TEST_F(QuotaFixture, QuotasAreNamespaceIsolated) {
+  cluster_.api().set_quota("tenant-a", ResourceQuota{0_B, Pages{5000}});
+  cluster_.api().submit(pod("a1", "tenant-a", Pages{5000}, 0_B));
+  // tenant-b has no quota; default namespace unaffected too.
+  EXPECT_NO_THROW(
+      cluster_.api().submit(pod("b1", "tenant-b", Pages{20'000}, 0_B)));
+  EXPECT_NO_THROW(
+      cluster_.api().submit(pod("d1", "default", Pages{20'000}, 0_B)));
+}
+
+TEST_F(QuotaFixture, TerminalPodsReleaseQuota) {
+  cluster_.api().set_quota("tenant-a", ResourceQuota{0_B, Pages{10'000}});
+  cluster_.api().submit(
+      pod("short", "tenant-a", Pages{10'000}, 0_B, Duration::seconds(20)));
+  EXPECT_THROW(
+      cluster_.api().submit(pod("next", "tenant-a", Pages{10'000}, 0_B)),
+      QuotaExceeded);
+  ASSERT_TRUE(cluster_.run_until_quiescent(1, Duration::minutes(10)));
+  // The finished pod no longer counts.
+  EXPECT_NO_THROW(
+      cluster_.api().submit(pod("next", "tenant-a", Pages{10'000}, 0_B)));
+  cluster_.stop_all();
+}
+
+TEST_F(QuotaFixture, UsageTracksNonTerminalPods) {
+  cluster_.api().set_quota("tenant-a", ResourceQuota{20_GiB, Pages{20'000}});
+  cluster_.api().submit(pod("a1", "tenant-a", Pages{3000}, 0_B));
+  cluster_.api().submit(pod("a2", "tenant-a", Pages{0}, 2_GiB));
+  const cluster::ResourceAmounts usage =
+      cluster_.api().namespace_usage("tenant-a");
+  EXPECT_EQ(usage.epc_pages, Pages{3000});
+  EXPECT_EQ(usage.memory, 2_GiB);
+  EXPECT_EQ(cluster_.api().namespace_usage("empty-ns").epc_pages, Pages{0});
+}
+
+TEST_F(QuotaFixture, QuotaCanBeRaised) {
+  cluster_.api().set_quota("tenant-a", ResourceQuota{0_B, Pages{1000}});
+  EXPECT_THROW(
+      cluster_.api().submit(pod("a1", "tenant-a", Pages{2000}, 0_B)),
+      QuotaExceeded);
+  cluster_.api().set_quota("tenant-a", ResourceQuota{0_B, Pages{5000}});
+  EXPECT_NO_THROW(
+      cluster_.api().submit(pod("a1", "tenant-a", Pages{2000}, 0_B)));
+}
+
+TEST_F(QuotaFixture, ZeroValuedResourceIsUnlimited) {
+  cluster_.api().set_quota("tenant-a", ResourceQuota{0_B, Pages{100}});
+  // Memory unlimited under this quota; EPC capped.
+  EXPECT_NO_THROW(
+      cluster_.api().submit(pod("mem", "tenant-a", Pages{0}, 60_GiB)));
+  EXPECT_THROW(
+      cluster_.api().submit(pod("epc", "tenant-a", Pages{101}, 0_B)),
+      QuotaExceeded);
+}
+
+}  // namespace
+}  // namespace sgxo::orch

@@ -1,0 +1,263 @@
+// Tests for the scheduler framework (feasibility filter, FCFS loop) and
+// the request-based Kubernetes default scheduler.
+#include <gtest/gtest.h>
+
+#include "orch/api_server.hpp"
+#include "orch/default_scheduler.hpp"
+#include "orch/scheduler_framework.hpp"
+
+namespace sgxo::orch {
+namespace {
+
+using namespace sgxo::literals;
+
+cluster::MachineSpec machine(const std::string& name, Bytes memory,
+                             bool sgx = false) {
+  cluster::MachineSpec spec;
+  spec.name = name;
+  spec.cpu_cores = 4;
+  spec.memory = memory;
+  if (sgx) spec.epc = sgx::EpcConfig::sgx1();
+  return spec;
+}
+
+cluster::PodSpec standard_pod(const std::string& name, Bytes request,
+                              Duration duration = Duration::seconds(30)) {
+  cluster::PodBehavior behavior;
+  behavior.actual_usage = request;
+  behavior.duration = duration;
+  return cluster::make_stressor_pod(name, {request, Pages{0}},
+                                    {request, Pages{0}}, behavior);
+}
+
+cluster::PodSpec sgx_pod(const std::string& name, Pages request,
+                         Duration duration = Duration::seconds(30)) {
+  cluster::PodBehavior behavior;
+  behavior.sgx = true;
+  behavior.actual_usage = request.as_bytes();
+  behavior.duration = duration;
+  return cluster::make_stressor_pod(name, {0_B, request}, {0_B, request},
+                                    behavior);
+}
+
+NodeView view(const std::string& name, bool sgx, Bytes mem_cap,
+              Bytes mem_used, Pages epc_cap = Pages{0},
+              Pages epc_used = Pages{0}, Pages epc_requested = Pages{0}) {
+  NodeView v;
+  v.name = name;
+  v.sgx_capable = sgx;
+  v.memory_capacity = mem_cap;
+  v.memory_used = mem_used;
+  v.epc_capacity = epc_cap;
+  v.epc_used = epc_used;
+  v.epc_requested = epc_requested;
+  return v;
+}
+
+TEST(Fits, HardwareCompatibility) {
+  // SGX-enabled job on a non-SGX node is filtered out (§IV).
+  const auto pod = sgx_pod("p", Pages{10});
+  EXPECT_FALSE(fits(pod, view("std", false, 64_GiB, 0_B)));
+  EXPECT_TRUE(fits(pod, view("sgx", true, 8_GiB, 0_B, Pages{23'936})));
+}
+
+TEST(Fits, MemorySaturation) {
+  const auto pod = standard_pod("p", 8_GiB);
+  EXPECT_TRUE(fits(pod, view("n", false, 64_GiB, 56_GiB)));
+  EXPECT_FALSE(fits(pod, view("n", false, 64_GiB, 56_GiB + 1_B)));
+}
+
+TEST(Fits, EpcSaturationOnMeasuredUsage) {
+  const auto pod = sgx_pod("p", Pages{1000});
+  EXPECT_TRUE(fits(pod, view("sgx", true, 8_GiB, 0_B, Pages{23'936},
+                             Pages{22'936})));
+  EXPECT_FALSE(fits(pod, view("sgx", true, 8_GiB, 0_B, Pages{23'936},
+                              Pages{22'937})));
+}
+
+TEST(Fits, EpcSaturationOnDeviceRequests) {
+  // Even if measured usage looks low, the device plugin's request
+  // accounting must also fit — no EPC over-commitment, ever.
+  const auto pod = sgx_pod("p", Pages{1000});
+  EXPECT_FALSE(fits(pod, view("sgx", true, 8_GiB, 0_B, Pages{23'936},
+                              Pages{0}, Pages{23'000})));
+  EXPECT_TRUE(fits(pod, view("sgx", true, 8_GiB, 0_B, Pages{23'936},
+                             Pages{0}, Pages{22'936})));
+}
+
+TEST(Fits, StandardPodIgnoresEpcColumns) {
+  const auto pod = standard_pod("p", 1_GiB);
+  EXPECT_TRUE(fits(pod, view("sgx", true, 8_GiB, 0_B, Pages{23'936},
+                             Pages{23'936}, Pages{23'936})));
+}
+
+TEST(NodeViewHelpers, LoadsAndFree) {
+  const NodeView v = view("n", true, 64_GiB, 16_GiB, Pages{1000},
+                          Pages{250});
+  EXPECT_DOUBLE_EQ(v.memory_load(), 0.25);
+  EXPECT_DOUBLE_EQ(v.epc_load(), 0.25);
+  EXPECT_EQ(v.memory_free(), 48_GiB);
+  const NodeView full = view("n", false, 64_GiB, 65_GiB);
+  EXPECT_EQ(full.memory_free(), 0_B);
+  const NodeView no_epc = view("n", false, 64_GiB, 0_B);
+  EXPECT_DOUBLE_EQ(no_epc.epc_load(), 0.0);
+}
+
+class SchedulerFixture : public ::testing::Test {
+ protected:
+  SchedulerFixture()
+      : api_(sim_),
+        node_a_(machine("node-a", 64_GiB)),
+        node_b_(machine("node-b", 64_GiB)),
+        sgx_a_(machine("sgx-a", 8_GiB, true)),
+        kubelet_a_(sim_, node_a_, perf_, registry_, api_),
+        kubelet_b_(sim_, node_b_, perf_, registry_, api_),
+        kubelet_s_(sim_, sgx_a_, perf_, registry_, api_) {
+    api_.register_node(node_a_, kubelet_a_);
+    api_.register_node(node_b_, kubelet_b_);
+    api_.register_node(sgx_a_, kubelet_s_);
+  }
+
+  sim::Simulation sim_;
+  ApiServer api_;
+  sgx::PerfModel perf_;
+  cluster::ImageRegistry registry_;
+  cluster::Node node_a_;
+  cluster::Node node_b_;
+  cluster::Node sgx_a_;
+  cluster::Kubelet kubelet_a_;
+  cluster::Kubelet kubelet_b_;
+  cluster::Kubelet kubelet_s_;
+};
+
+TEST_F(SchedulerFixture, RequestBasedViewsReflectAssignments) {
+  DefaultScheduler scheduler{sim_, api_};
+  api_.submit(standard_pod("p1", 10_GiB));
+  EXPECT_EQ(scheduler.run_once(), 1u);
+  const auto views = request_based_views(api_);
+  ASSERT_EQ(views.size(), 3u);  // sorted by name: node-a, node-b, sgx-a
+  EXPECT_EQ(views[0].name, "node-a");
+  // p1 went somewhere; its request shows up in exactly one view.
+  Bytes total_used{};
+  for (const auto& v : views) total_used += v.memory_used;
+  EXPECT_EQ(total_used, 10_GiB);
+}
+
+TEST_F(SchedulerFixture, DefaultSchedulerBalancesByRequests) {
+  DefaultScheduler scheduler{sim_, api_};
+  api_.submit(standard_pod("p1", 10_GiB, Duration::minutes(10)));
+  api_.submit(standard_pod("p2", 10_GiB, Duration::minutes(10)));
+  scheduler.run_once();
+  // Least-requested: the two pods land on different 64 GiB nodes.
+  EXPECT_NE(api_.pod("p1").node, api_.pod("p2").node);
+}
+
+TEST_F(SchedulerFixture, FcfsOrderWithinCycle) {
+  DefaultScheduler scheduler{sim_, api_};
+  api_.submit(standard_pod("old", 40_GiB, Duration::minutes(10)));
+  api_.submit(standard_pod("new", 40_GiB, Duration::minutes(10)));
+  scheduler.run_once();
+  // Both fit (on different nodes); the older pod got first pick.
+  EXPECT_EQ(api_.pod("old").phase, cluster::PodPhase::kBound);
+  EXPECT_EQ(api_.pod("new").phase, cluster::PodPhase::kBound);
+}
+
+TEST_F(SchedulerFixture, UnschedulablePodStaysPendingWithoutBlocking) {
+  DefaultScheduler scheduler{sim_, api_};
+  api_.submit(standard_pod("huge", 100_GiB));  // fits nowhere
+  api_.submit(standard_pod("small", 1_GiB));
+  EXPECT_EQ(scheduler.run_once(), 1u);
+  EXPECT_EQ(api_.pod("huge").phase, cluster::PodPhase::kPending);
+  EXPECT_EQ(api_.pod("small").phase, cluster::PodPhase::kBound);
+}
+
+TEST_F(SchedulerFixture, CycleLocalAccountingPreventsOverbooking) {
+  DefaultScheduler scheduler{sim_, api_};
+  // Three 40 GiB pods, two 64 GiB nodes: only two can go in this cycle —
+  // the in-cycle view update must stop the third.
+  api_.submit(standard_pod("p1", 40_GiB, Duration::minutes(10)));
+  api_.submit(standard_pod("p2", 40_GiB, Duration::minutes(10)));
+  api_.submit(standard_pod("p3", 40_GiB, Duration::minutes(10)));
+  EXPECT_EQ(scheduler.run_once(), 2u);
+  EXPECT_EQ(api_.pod("p3").phase, cluster::PodPhase::kPending);
+}
+
+TEST_F(SchedulerFixture, SgxPodRoutedToSgxNode) {
+  DefaultScheduler scheduler{sim_, api_};
+  api_.submit(sgx_pod("enclave", Pages{1000}));
+  scheduler.run_once();
+  EXPECT_EQ(api_.pod("enclave").node, "sgx-a");
+}
+
+TEST_F(SchedulerFixture, SgxRequestAccountingLimitsPacking) {
+  DefaultScheduler scheduler{sim_, api_};
+  api_.submit(sgx_pod("e1", Pages{12'000}, Duration::minutes(10)));
+  api_.submit(sgx_pod("e2", Pages{12'000}, Duration::minutes(10)));
+  EXPECT_EQ(scheduler.run_once(), 1u);  // 24 000 > 23 936 pages
+  EXPECT_EQ(api_.pod("e2").phase, cluster::PodPhase::kPending);
+  // Once e1 finishes, e2 becomes schedulable.
+  sim_.run_until(TimePoint::epoch() + Duration::minutes(11));
+  EXPECT_EQ(scheduler.run_once(), 1u);
+}
+
+TEST_F(SchedulerFixture, PeriodicLoopDrivesQueue) {
+  DefaultScheduler scheduler{sim_, api_, Duration::seconds(5)};
+  scheduler.start();
+  api_.submit(standard_pod("p1", 1_GiB, Duration::seconds(10)));
+  sim_.run_until(TimePoint::epoch() + Duration::seconds(30));
+  scheduler.stop();
+  EXPECT_EQ(api_.pod("p1").phase, cluster::PodPhase::kSucceeded);
+  EXPECT_GE(scheduler.cycles(), 5u);
+  EXPECT_EQ(scheduler.total_bound(), 1u);
+}
+
+TEST_F(SchedulerFixture, SchedulerOnlyTakesItsOwnPods) {
+  DefaultScheduler scheduler{sim_, api_};
+  api_.set_default_scheduler("someone-else");
+  api_.submit(standard_pod("not-mine", 1_GiB));
+  EXPECT_EQ(scheduler.run_once(), 0u);
+  EXPECT_EQ(api_.pod("not-mine").phase, cluster::PodPhase::kPending);
+}
+
+TEST_F(SchedulerFixture, StrictFcfsBlocksBehindHeadOfLine) {
+  DefaultScheduler scheduler{sim_, api_};
+  scheduler.set_strict_fcfs(true);
+  EXPECT_TRUE(scheduler.strict_fcfs());
+  api_.submit(standard_pod("huge", 100_GiB));  // fits nowhere, ever
+  api_.submit(standard_pod("small", 1_GiB));
+  EXPECT_EQ(scheduler.run_once(), 0u);
+  // Head-of-line blocking: the small pod waits behind the impossible one.
+  EXPECT_EQ(api_.pod("small").phase, cluster::PodPhase::kPending);
+  // Flipping back to skip semantics releases it.
+  scheduler.set_strict_fcfs(false);
+  EXPECT_EQ(scheduler.run_once(), 1u);
+  EXPECT_EQ(api_.pod("small").phase, cluster::PodPhase::kBound);
+}
+
+TEST_F(SchedulerFixture, PendingQueuePriorityOrder) {
+  api_.set_default_scheduler("s");
+  auto low = standard_pod("low", 1_GiB);
+  auto high = standard_pod("high", 1_GiB);
+  auto mid_a = standard_pod("mid-a", 1_GiB);
+  auto mid_b = standard_pod("mid-b", 1_GiB);
+  low.priority = 0;
+  high.priority = 9;
+  mid_a.priority = 5;
+  mid_b.priority = 5;
+  api_.submit(low);
+  api_.submit(mid_a);
+  api_.submit(high);
+  api_.submit(mid_b);
+  // Priority classes descending; FCFS inside the class of 5.
+  EXPECT_EQ(api_.pending_pods("s"),
+            (std::vector<cluster::PodName>{"high", "mid-a", "mid-b", "low"}));
+}
+
+TEST(SchedulerConstruction, Validation) {
+  sim::Simulation sim;
+  ApiServer api{sim};
+  EXPECT_THROW(DefaultScheduler(sim, api, Duration{}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgxo::orch

@@ -1,0 +1,194 @@
+// Tests of the §II attestation machinery: launch tokens, quotes, IAS
+// verification, mutual attestation, and sealing.
+#include "sgx/attestation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sgxo::sgx {
+namespace {
+
+const Measurement kApp = measure_enclave("stress-sgx v1.0");
+const Measurement kOther = measure_enclave("stress-sgx v1.1");
+
+TEST(Measurement, DeterministicAndDistinct) {
+  EXPECT_EQ(measure_enclave("a"), measure_enclave("a"));
+  EXPECT_NE(measure_enclave("a"), measure_enclave("b"));
+  EXPECT_NE(kApp, kOther);
+}
+
+TEST(Platform, ForNodeIsDeterministic) {
+  const Platform a = Platform::for_node("sgx-1");
+  const Platform b = Platform::for_node("sgx-1");
+  const Platform c = Platform::for_node("sgx-2");
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_NE(a.id(), c.id());
+  EXPECT_EQ(a.seal_key(kApp), b.seal_key(kApp));
+  EXPECT_NE(a.seal_key(kApp), c.seal_key(kApp));
+  // Measurement-bound keys.
+  EXPECT_NE(a.seal_key(kApp), a.seal_key(kOther));
+}
+
+TEST(LaunchEnclave, IssuesValidTokens) {
+  const Platform platform = Platform::for_node("sgx-1");
+  LaunchEnclave le{platform};
+  const auto token = le.issue(kApp);
+  EXPECT_TRUE(le.validate(token));
+  EXPECT_EQ(token.measurement, kApp);
+  EXPECT_EQ(token.platform_id, platform.id());
+}
+
+TEST(LaunchEnclave, ForeignTokensRejected) {
+  const Platform here = Platform::for_node("sgx-1");
+  const Platform there = Platform::for_node("sgx-2");
+  LaunchEnclave le_here{here};
+  LaunchEnclave le_there{there};
+  const auto token = le_there.issue(kApp);
+  EXPECT_FALSE(le_here.validate(token));
+}
+
+TEST(LaunchEnclave, ForgedMacRejected) {
+  const Platform platform = Platform::for_node("sgx-1");
+  LaunchEnclave le{platform};
+  auto token = le.issue(kApp);
+  token.mac ^= 1;
+  EXPECT_FALSE(le.validate(token));
+}
+
+TEST(LaunchEnclave, RevocationBlocksIssuanceAndValidation) {
+  const Platform platform = Platform::for_node("sgx-1");
+  LaunchEnclave le{platform};
+  const auto token = le.issue(kApp);
+  le.revoke(kApp);
+  EXPECT_TRUE(le.revoked(kApp));
+  EXPECT_THROW((void)le.issue(kApp), AttestationError);
+  // Already-issued tokens stop validating too.
+  EXPECT_FALSE(le.validate(token));
+  // Other measurements unaffected.
+  EXPECT_TRUE(le.validate(le.issue(kOther)));
+}
+
+class AttestationFixture : public ::testing::Test {
+ protected:
+  AttestationFixture()
+      : source_(Platform::for_node("sgx-1")),
+        target_(Platform::for_node("sgx-2")),
+        rogue_(Platform::for_node("evil-box")) {
+    ias_.provision(source_);
+    ias_.provision(target_);
+    // rogue_ is NOT provisioned: not a genuine platform.
+  }
+  Platform source_;
+  Platform target_;
+  Platform rogue_;
+  AttestationService ias_;
+};
+
+TEST_F(AttestationFixture, GenuineQuoteVerifies) {
+  QuotingEnclave qe{source_};
+  EXPECT_TRUE(ias_.verify(qe.quote(kApp, 42)));
+  EXPECT_TRUE(ias_.provisioned(source_.id()));
+}
+
+TEST_F(AttestationFixture, UnprovisionedPlatformFails) {
+  QuotingEnclave qe{rogue_};
+  EXPECT_FALSE(ias_.verify(qe.quote(kApp, 42)));
+  EXPECT_FALSE(ias_.provisioned(rogue_.id()));
+}
+
+TEST_F(AttestationFixture, TamperedQuoteFails) {
+  QuotingEnclave qe{source_};
+  Quote quote = qe.quote(kApp, 42);
+  Quote wrong_measurement = quote;
+  wrong_measurement.measurement = kOther;
+  EXPECT_FALSE(ias_.verify(wrong_measurement));
+  Quote wrong_data = quote;
+  wrong_data.report_data = 43;
+  EXPECT_FALSE(ias_.verify(wrong_data));
+  Quote wrong_sig = quote;
+  wrong_sig.signature ^= 1;
+  EXPECT_FALSE(ias_.verify(wrong_sig));
+}
+
+TEST_F(AttestationFixture, QuoteCannotBeReplayedFromOtherPlatform) {
+  QuotingEnclave qe{source_};
+  Quote stolen = qe.quote(kApp, 42);
+  stolen.platform_id = target_.id();  // claim it came from the target
+  EXPECT_FALSE(ias_.verify(stolen));
+}
+
+TEST_F(AttestationFixture, MutualAttestationYieldsSharedKey) {
+  QuotingEnclave source_qe{source_};
+  QuotingEnclave target_qe{target_};
+  const Quote a = source_qe.quote(kApp, 1111);
+  const Quote b = target_qe.quote(kApp, 2222);
+  const HashKey k1 = ias_.establish_shared_key(a, b);
+  const HashKey k2 = ias_.establish_shared_key(b, a);  // order-independent
+  EXPECT_EQ(k1, k2);
+  // Different exchanges give different keys.
+  const Quote c = target_qe.quote(kApp, 3333);
+  EXPECT_NE(ias_.establish_shared_key(a, c), k1);
+}
+
+TEST_F(AttestationFixture, MutualAttestationRejectsRogue) {
+  QuotingEnclave source_qe{source_};
+  QuotingEnclave rogue_qe{rogue_};
+  EXPECT_THROW((void)ias_.establish_shared_key(source_qe.quote(kApp, 1),
+                                               rogue_qe.quote(kApp, 2)),
+               AttestationError);
+}
+
+TEST(Sealing, RoundTrip) {
+  const Platform platform = Platform::for_node("sgx-1");
+  const SealedBlob blob = seal(platform, kApp, "launch-token-cache");
+  const auto plaintext = unseal(platform, kApp, blob);
+  EXPECT_EQ(std::string(plaintext.begin(), plaintext.end()),
+            "launch-token-cache");
+}
+
+TEST(Sealing, CiphertextDiffersFromPlaintext) {
+  const Platform platform = Platform::for_node("sgx-1");
+  const SealedBlob blob = seal(platform, kApp, "secret");
+  EXPECT_NE(std::string(blob.ciphertext.begin(), blob.ciphertext.end()),
+            "secret");
+}
+
+TEST(Sealing, WrongPlatformRefused) {
+  const Platform here = Platform::for_node("sgx-1");
+  const Platform there = Platform::for_node("sgx-2");
+  const SealedBlob blob = seal(here, kApp, "secret");
+  EXPECT_THROW((void)unseal(there, kApp, blob), AttestationError);
+}
+
+TEST(Sealing, WrongMeasurementRefused) {
+  const Platform platform = Platform::for_node("sgx-1");
+  const SealedBlob blob = seal(platform, kApp, "secret");
+  EXPECT_THROW((void)unseal(platform, kOther, blob), AttestationError);
+}
+
+TEST(Sealing, TamperDetected) {
+  const Platform platform = Platform::for_node("sgx-1");
+  SealedBlob blob = seal(platform, kApp, "secret");
+  blob.ciphertext[0] ^= 1;
+  EXPECT_THROW((void)unseal(platform, kApp, blob), AttestationError);
+}
+
+TEST(Sealing, EmptyPayload) {
+  const Platform platform = Platform::for_node("sgx-1");
+  const SealedBlob blob = seal(platform, kApp, "");
+  EXPECT_TRUE(unseal(platform, kApp, blob).empty());
+}
+
+TEST(Sealing, SurvivesRestart) {
+  // §II: sealing waives the need to re-attest after the application
+  // restarts — a *new* Platform object for the same machine (new boot)
+  // still unseals.
+  const SealedBlob blob =
+      seal(Platform::for_node("sgx-1"), kApp, "persisted-state");
+  const Platform after_reboot = Platform::for_node("sgx-1");
+  const auto plaintext = unseal(after_reboot, kApp, blob);
+  EXPECT_EQ(std::string(plaintext.begin(), plaintext.end()),
+            "persisted-state");
+}
+
+}  // namespace
+}  // namespace sgxo::sgx

@@ -1,0 +1,174 @@
+#include "sgx/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sgxo::sgx {
+namespace {
+
+DriverConfig enforcing() {
+  DriverConfig config;
+  config.enforce_limits = true;
+  return config;
+}
+
+DriverConfig stock() {
+  DriverConfig config;
+  config.enforce_limits = false;
+  return config;
+}
+
+TEST(Driver, ModuleParametersExposePageCounts) {
+  Driver driver{enforcing()};
+  EXPECT_EQ(driver.read_module_param("sgx_nr_total_epc_pages"), "23936");
+  EXPECT_EQ(driver.read_module_param("sgx_nr_free_pages"), "23936");
+  driver.set_pod_limit("/kubepods/pod-a", Pages{100});
+  const EnclaveId id = driver.create_enclave(1, "/kubepods/pod-a", Pages{100});
+  driver.init_enclave(id);
+  EXPECT_EQ(driver.read_module_param("sgx_nr_free_pages"), "23836");
+}
+
+TEST(Driver, UnknownModuleParameterThrows) {
+  Driver driver{enforcing()};
+  EXPECT_THROW((void)driver.read_module_param("nope"), DomainError);
+}
+
+TEST(Driver, ProcessPagesIoctl) {
+  Driver driver{stock()};
+  (void)driver.create_enclave(7, "/pod-a", Pages{10});
+  (void)driver.create_enclave(7, "/pod-a", Pages{5});
+  (void)driver.create_enclave(8, "/pod-b", Pages{3});
+  EXPECT_EQ(driver.process_pages(7), Pages{15});
+  EXPECT_EQ(driver.process_pages(8), Pages{3});
+  EXPECT_EQ(driver.process_pages(999), Pages{0});
+}
+
+TEST(Driver, PodPagesAggregatesAcrossProcesses) {
+  Driver driver{stock()};
+  (void)driver.create_enclave(1, "/pod-a", Pages{10});
+  (void)driver.create_enclave(2, "/pod-a", Pages{20});
+  EXPECT_EQ(driver.pod_pages("/pod-a"), Pages{30});
+  EXPECT_EQ(driver.pod_pages("/pod-x"), Pages{0});
+}
+
+TEST(Driver, LimitsAreSetOnce) {
+  Driver driver{enforcing()};
+  driver.set_pod_limit("/pod-a", Pages{50});
+  EXPECT_EQ(driver.pod_limit("/pod-a"), Pages{50});
+  // A container trying to reset its own limit is rejected (§V-E).
+  EXPECT_THROW(driver.set_pod_limit("/pod-a", Pages{5000}), DomainError);
+  EXPECT_EQ(driver.pod_limit("/pod-a"), Pages{50});
+}
+
+TEST(Driver, LimitRequiresCgroupPath) {
+  Driver driver{enforcing()};
+  EXPECT_THROW(driver.set_pod_limit("", Pages{1}), ContractViolation);
+}
+
+TEST(Driver, ForgetPodAllowsReuse) {
+  Driver driver{enforcing()};
+  driver.set_pod_limit("/pod-a", Pages{50});
+  driver.forget_pod("/pod-a");
+  EXPECT_EQ(driver.pod_limit("/pod-a"), std::nullopt);
+  EXPECT_NO_THROW(driver.set_pod_limit("/pod-a", Pages{60}));
+}
+
+TEST(Driver, InitWithinLimitSucceeds) {
+  Driver driver{enforcing()};
+  driver.set_pod_limit("/pod-a", Pages{100});
+  const EnclaveId id = driver.create_enclave(1, "/pod-a", Pages{100});
+  EXPECT_NO_THROW(driver.init_enclave(id));
+  EXPECT_TRUE(driver.enclave_initialized(id));
+}
+
+TEST(Driver, InitBeyondLimitDeniedAndPagesReleased) {
+  Driver driver{enforcing()};
+  driver.set_pod_limit("/pod-a", Pages{100});
+  const EnclaveId id = driver.create_enclave(1, "/pod-a", Pages{101});
+  const Pages free_before_init = driver.free_epc_pages();
+  EXPECT_LT(free_before_init, driver.total_epc_pages());
+  EXPECT_THROW(driver.init_enclave(id), EnclaveInitDenied);
+  // Denial tears the enclave down: pages return, record disappears.
+  EXPECT_EQ(driver.free_epc_pages(), driver.total_epc_pages());
+  EXPECT_EQ(driver.enclave_count(), 0u);
+}
+
+TEST(Driver, PodAggregateLimitCoversMultipleEnclaves) {
+  Driver driver{enforcing()};
+  driver.set_pod_limit("/pod-a", Pages{100});
+  const EnclaveId first = driver.create_enclave(1, "/pod-a", Pages{60});
+  driver.init_enclave(first);
+  const EnclaveId second = driver.create_enclave(1, "/pod-a", Pages{60});
+  // 60 + 60 > 100: the second enclave must be denied.
+  EXPECT_THROW(driver.init_enclave(second), EnclaveInitDenied);
+  // But a smaller one still fits.
+  const EnclaveId third = driver.create_enclave(1, "/pod-a", Pages{40});
+  EXPECT_NO_THROW(driver.init_enclave(third));
+}
+
+TEST(Driver, MissingLimitDeniedWhenEnforcing) {
+  Driver driver{enforcing()};
+  const EnclaveId id = driver.create_enclave(1, "/unknown-pod", Pages{1});
+  EXPECT_THROW(driver.init_enclave(id), EnclaveInitDenied);
+}
+
+TEST(Driver, StockDriverAllowsEverything) {
+  // The malicious-container scenario (Fig. 11, limits disabled): declare
+  // 1 page, allocate half the EPC — the stock driver happily accepts.
+  Driver driver{stock()};
+  driver.set_pod_limit("/malicious", Pages{1});
+  const Pages half{driver.total_epc_pages().count() / 2};
+  const EnclaveId id = driver.create_enclave(1, "/malicious", half);
+  EXPECT_NO_THROW(driver.init_enclave(id));
+  EXPECT_EQ(driver.pod_pages("/malicious"), half);
+}
+
+TEST(Driver, EnforcingDriverKillsMaliciousContainer) {
+  Driver driver{enforcing()};
+  driver.set_pod_limit("/malicious", Pages{1});
+  const Pages half{driver.total_epc_pages().count() / 2};
+  const EnclaveId id = driver.create_enclave(1, "/malicious", half);
+  EXPECT_THROW(driver.init_enclave(id), EnclaveInitDenied);
+}
+
+TEST(Driver, DestroyEnclaveFreesPages) {
+  Driver driver{stock()};
+  const EnclaveId id = driver.create_enclave(1, "/pod-a", Pages{500});
+  driver.destroy_enclave(id);
+  EXPECT_EQ(driver.free_epc_pages(), driver.total_epc_pages());
+  EXPECT_THROW(driver.destroy_enclave(id), ContractViolation);
+}
+
+TEST(Driver, ProcessExitReleasesAllItsEnclaves) {
+  Driver driver{stock()};
+  (void)driver.create_enclave(1, "/pod-a", Pages{10});
+  (void)driver.create_enclave(1, "/pod-a", Pages{20});
+  (void)driver.create_enclave(2, "/pod-b", Pages{30});
+  driver.on_process_exit(1);
+  EXPECT_EQ(driver.process_pages(1), Pages{0});
+  EXPECT_EQ(driver.process_pages(2), Pages{30});
+  EXPECT_EQ(driver.enclave_count(), 1u);
+}
+
+TEST(Driver, LifecycleContractChecks) {
+  Driver driver{stock()};
+  EXPECT_THROW(driver.init_enclave(12345), ContractViolation);
+  EXPECT_THROW((void)driver.enclave_initialized(12345), ContractViolation);
+  EXPECT_THROW((void)driver.create_enclave(1, "/p", Pages{0}),
+               ContractViolation);
+  const EnclaveId id = driver.create_enclave(1, "/p", Pages{1});
+  driver.init_enclave(id);
+  EXPECT_THROW(driver.init_enclave(id), ContractViolation);
+}
+
+TEST(Driver, CustomEpcGeometry) {
+  DriverConfig config;
+  config.epc = EpcConfig::with_usable(Bytes{32ULL << 20});
+  config.enforce_limits = false;
+  Driver driver{config};
+  EXPECT_EQ(driver.total_epc_pages().count(), 8192u);
+}
+
+}  // namespace
+}  // namespace sgxo::sgx

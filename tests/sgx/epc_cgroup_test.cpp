@@ -1,0 +1,207 @@
+// Tests of the hierarchical EPC cgroup controller (§V-D's "proper way"),
+// including the equivalence check against the paper's simpler ioctl
+// design for the flat one-group-per-pod layout.
+#include "sgx/epc_cgroup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace sgxo::sgx {
+namespace {
+
+TEST(EpcCgroup, RootExistsWithCapacityLimit) {
+  EpcCgroupController cg{Pages{23'936}};
+  EXPECT_TRUE(cg.exists("/"));
+  EXPECT_EQ(cg.limit("/"), Pages{23'936});
+  EXPECT_EQ(cg.usage("/"), Pages{0});
+  EXPECT_THROW(EpcCgroupController{Pages{0}}, ContractViolation);
+}
+
+TEST(EpcCgroup, CreateRequiresParents) {
+  EpcCgroupController cg{Pages{1000}};
+  cg.create_group("/kubepods");
+  cg.create_group("/kubepods/pod-a");
+  EXPECT_TRUE(cg.exists("/kubepods/pod-a"));
+  EXPECT_THROW(cg.create_group("/orphan/child"), CgroupError);
+  EXPECT_THROW(cg.create_group("/kubepods"), CgroupError);  // duplicate
+  EXPECT_THROW(cg.create_group("/"), CgroupError);
+}
+
+TEST(EpcCgroup, PathSyntaxValidated) {
+  EpcCgroupController cg{Pages{1000}};
+  EXPECT_THROW(cg.create_group("relative"), CgroupError);
+  EXPECT_THROW(cg.create_group("/trailing/"), CgroupError);
+  EXPECT_THROW(cg.create_group("//double"), CgroupError);
+}
+
+TEST(EpcCgroup, ChildrenListing) {
+  EpcCgroupController cg{Pages{1000}};
+  cg.create_group("/a");
+  cg.create_group("/a/x");
+  cg.create_group("/a/y");
+  cg.create_group("/a/x/deep");
+  cg.create_group("/b");
+  const auto top = cg.children_of("/");
+  EXPECT_EQ(top.size(), 2u);
+  const auto under_a = cg.children_of("/a");
+  ASSERT_EQ(under_a.size(), 2u);  // /a/x and /a/y, not /a/x/deep
+  EXPECT_THROW((void)cg.children_of("/ghost"), CgroupError);
+}
+
+TEST(EpcCgroup, ChargeWalksHierarchy) {
+  EpcCgroupController cg{Pages{1000}};
+  cg.create_group("/ns");
+  cg.create_group("/ns/pod");
+  ASSERT_TRUE(cg.try_charge("/ns/pod", Pages{300}));
+  EXPECT_EQ(cg.local_usage("/ns/pod"), Pages{300});
+  EXPECT_EQ(cg.usage("/ns"), Pages{300});
+  EXPECT_EQ(cg.usage("/"), Pages{300});
+  cg.uncharge("/ns/pod", Pages{100});
+  EXPECT_EQ(cg.usage("/"), Pages{200});
+}
+
+TEST(EpcCgroup, LeafLimitEnforced) {
+  EpcCgroupController cg{Pages{1000}};
+  cg.create_group("/pod");
+  cg.set_limit("/pod", Pages{100});
+  EXPECT_TRUE(cg.try_charge("/pod", Pages{100}));
+  EXPECT_FALSE(cg.try_charge("/pod", Pages{1}));
+  cg.uncharge("/pod", Pages{1});
+  EXPECT_TRUE(cg.try_charge("/pod", Pages{1}));
+}
+
+TEST(EpcCgroup, ParentLimitCapsWholeSubtree) {
+  // The capability the ioctl design lacks: one limit for a whole tenant.
+  EpcCgroupController cg{Pages{10'000}};
+  cg.create_group("/tenant");
+  cg.create_group("/tenant/pod-1");
+  cg.create_group("/tenant/pod-2");
+  cg.set_limit("/tenant", Pages{500});
+  EXPECT_TRUE(cg.try_charge("/tenant/pod-1", Pages{300}));
+  EXPECT_FALSE(cg.try_charge("/tenant/pod-2", Pages{201}));
+  EXPECT_TRUE(cg.try_charge("/tenant/pod-2", Pages{200}));
+}
+
+TEST(EpcCgroup, RootCapacityIsTheFinalBackstop) {
+  EpcCgroupController cg{Pages{100}};
+  cg.create_group("/pod");  // no explicit limit
+  EXPECT_FALSE(cg.try_charge("/pod", Pages{101}));
+  EXPECT_TRUE(cg.try_charge("/pod", Pages{100}));
+}
+
+TEST(EpcCgroup, FailedChargeHasNoSideEffects) {
+  EpcCgroupController cg{Pages{1000}};
+  cg.create_group("/a");
+  cg.create_group("/a/pod");
+  cg.set_limit("/a", Pages{50});
+  ASSERT_FALSE(cg.try_charge("/a/pod", Pages{51}));
+  EXPECT_EQ(cg.usage("/"), Pages{0});
+  EXPECT_EQ(cg.usage("/a"), Pages{0});
+  EXPECT_EQ(cg.local_usage("/a/pod"), Pages{0});
+}
+
+TEST(EpcCgroup, LimitsAreResettableUnlikeTheIoctlDesign) {
+  EpcCgroupController cg{Pages{1000}};
+  cg.create_group("/pod");
+  cg.set_limit("/pod", Pages{10});
+  cg.set_limit("/pod", Pages{20});  // no set-once restriction
+  EXPECT_EQ(cg.limit("/pod"), Pages{20});
+  // Lowering below current usage only blocks future charges.
+  ASSERT_TRUE(cg.try_charge("/pod", Pages{20}));
+  cg.set_limit("/pod", Pages{5});
+  EXPECT_EQ(cg.usage("/pod"), Pages{20});
+  EXPECT_FALSE(cg.try_charge("/pod", Pages{1}));
+  cg.clear_limit("/pod");
+  EXPECT_TRUE(cg.try_charge("/pod", Pages{1}));
+}
+
+TEST(EpcCgroup, RootLimitImmutable) {
+  EpcCgroupController cg{Pages{1000}};
+  EXPECT_THROW(cg.set_limit("/", Pages{1}), CgroupError);
+  EXPECT_THROW(cg.clear_limit("/"), CgroupError);
+}
+
+TEST(EpcCgroup, RemovalRules) {
+  EpcCgroupController cg{Pages{1000}};
+  cg.create_group("/a");
+  cg.create_group("/a/b");
+  EXPECT_THROW(cg.remove_group("/a"), CgroupError);  // has a child
+  ASSERT_TRUE(cg.try_charge("/a/b", Pages{1}));
+  EXPECT_THROW(cg.remove_group("/a/b"), CgroupError);  // charged
+  cg.uncharge("/a/b", Pages{1});
+  cg.remove_group("/a/b");
+  cg.remove_group("/a");
+  EXPECT_FALSE(cg.exists("/a"));
+  EXPECT_THROW(cg.remove_group("/"), CgroupError);
+}
+
+TEST(EpcCgroup, UnchargeValidation) {
+  EpcCgroupController cg{Pages{1000}};
+  cg.create_group("/pod");
+  ASSERT_TRUE(cg.try_charge("/pod", Pages{5}));
+  EXPECT_THROW(cg.uncharge("/pod", Pages{6}), ContractViolation);
+}
+
+/// Equivalence with the paper's design: for the flat layout Kubernetes
+/// produces (one cgroup per pod, one limit each), the cgroup controller
+/// and the ioctl-based driver must admit/deny identical allocation
+/// sequences.
+TEST(EpcCgroup, EquivalentToIoctlDesignOnFlatLayout) {
+  Rng rng{77};
+  for (int trial = 0; trial < 20; ++trial) {
+    EpcCgroupController cg{Pages{23'936}};
+    DriverConfig config;
+    config.enforce_limits = true;
+    Driver driver{config};
+
+    // Five pods with random limits.
+    std::vector<CgroupPath> pods;
+    for (int p = 0; p < 5; ++p) {
+      const CgroupPath path = "/pod-" + std::to_string(p);
+      const Pages limit{
+          static_cast<std::uint64_t>(rng.uniform_int(100, 8000))};
+      cg.create_group(path);
+      cg.set_limit(path, limit);
+      driver.set_pod_limit(path, limit);
+      pods.push_back(path);
+    }
+
+    // Random allocation sequence; both designs must agree on every step.
+    std::vector<std::vector<std::pair<EnclaveId, Pages>>> live(pods.size());
+    for (int step = 0; step < 60; ++step) {
+      const auto pod_idx =
+          static_cast<std::size_t>(rng.uniform_int(0, 4));
+      const CgroupPath& path = pods[pod_idx];
+      if (rng.bernoulli(0.3) && !live[pod_idx].empty()) {
+        // Release one enclave in both worlds.
+        const auto [id, pages] = live[pod_idx].back();
+        live[pod_idx].pop_back();
+        driver.destroy_enclave(id);
+        cg.uncharge(path, pages);
+        continue;
+      }
+      const Pages pages{
+          static_cast<std::uint64_t>(rng.uniform_int(50, 4000))};
+      const bool cg_ok = cg.try_charge(path, pages);
+      bool ioctl_ok = true;
+      EnclaveId id = 0;
+      try {
+        id = driver.create_enclave(pod_idx + 1, path, pages);
+        driver.init_enclave(id);
+      } catch (const EnclaveInitDenied&) {
+        ioctl_ok = false;
+      }
+      ASSERT_EQ(cg_ok, ioctl_ok)
+          << "designs disagree at trial " << trial << " step " << step;
+      if (cg_ok) {
+        live[pod_idx].emplace_back(id, pages);
+      } else if (cg_ok != ioctl_ok) {
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgxo::sgx

@@ -1,0 +1,133 @@
+#include "sgx/epc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sgxo::sgx {
+namespace {
+
+using namespace sgxo::literals;
+
+TEST(EpcConfig, Sgx1Geometry) {
+  const EpcConfig cfg = EpcConfig::sgx1();
+  EXPECT_EQ(cfg.reserved, 128_MiB);
+  EXPECT_EQ(cfg.usable, mib(93.5));
+  // 93.5 MiB of 4 KiB pages = 23 936 pages (paper §II).
+  EXPECT_EQ(cfg.usable_pages().count(), 23'936u);
+}
+
+TEST(EpcConfig, WithUsableKeepsOverheadRatio) {
+  const EpcConfig cfg = EpcConfig::with_usable(mib(187.0));
+  EXPECT_EQ(cfg.usable, mib(187.0));
+  EXPECT_NEAR(static_cast<double>(cfg.reserved.count()) /
+                  static_cast<double>(cfg.usable.count()),
+              128.0 / 93.5, 1e-9);
+}
+
+TEST(EpcAccounting, RejectsBadGeometry) {
+  EpcConfig zero;
+  zero.usable = 0_B;
+  EXPECT_THROW(EpcAccounting{zero}, ContractViolation);
+  EpcConfig inverted;
+  inverted.usable = 256_MiB;
+  inverted.reserved = 128_MiB;
+  EXPECT_THROW(EpcAccounting{inverted}, ContractViolation);
+}
+
+TEST(EpcAccounting, FreshStateIsEmpty) {
+  EpcAccounting epc{EpcConfig::sgx1()};
+  EXPECT_EQ(epc.free_pages(), epc.total_pages());
+  EXPECT_EQ(epc.committed_pages().count(), 0u);
+  EXPECT_EQ(epc.resident_pages().count(), 0u);
+  EXPECT_FALSE(epc.overcommitted());
+  EXPECT_DOUBLE_EQ(epc.pressure(), 0.0);
+  EXPECT_EQ(epc.enclave_count(), 0u);
+}
+
+TEST(EpcAccounting, CommitReducesFreePages) {
+  EpcAccounting epc{EpcConfig::sgx1()};
+  epc.commit(1, Pages{1000});
+  EXPECT_EQ(epc.free_pages(), epc.total_pages() - Pages{1000});
+  EXPECT_EQ(epc.pages_of(1), Pages{1000});
+  EXPECT_EQ(epc.resident_of(1), Pages{1000});
+  EXPECT_TRUE(epc.contains(1));
+}
+
+TEST(EpcAccounting, ReleaseRestoresFreePages) {
+  EpcAccounting epc{EpcConfig::sgx1()};
+  epc.commit(1, Pages{1000});
+  epc.release(1);
+  EXPECT_EQ(epc.free_pages(), epc.total_pages());
+  EXPECT_FALSE(epc.contains(1));
+}
+
+TEST(EpcAccounting, RejectsDuplicateAndUnknownIds) {
+  EpcAccounting epc{EpcConfig::sgx1()};
+  epc.commit(1, Pages{10});
+  EXPECT_THROW(epc.commit(1, Pages{10}), ContractViolation);
+  EXPECT_THROW(epc.release(99), ContractViolation);
+  EXPECT_THROW((void)epc.pages_of(99), ContractViolation);
+  EXPECT_THROW((void)epc.resident_of(99), ContractViolation);
+}
+
+TEST(EpcAccounting, RejectsZeroPageEnclave) {
+  EpcAccounting epc{EpcConfig::sgx1()};
+  EXPECT_THROW(epc.commit(1, Pages{0}), ContractViolation);
+}
+
+TEST(EpcAccounting, OvercommitPagesOutOldestEnclave) {
+  EpcAccounting epc{EpcConfig::sgx1()};
+  const Pages total = epc.total_pages();
+  epc.commit(1, total);            // fills the EPC
+  epc.commit(2, Pages{1000});      // pushes it over
+  EXPECT_TRUE(epc.overcommitted());
+  EXPECT_EQ(epc.free_pages().count(), 0u);
+  // Newest enclave stays resident; the older one is partially paged out.
+  EXPECT_EQ(epc.resident_of(2), Pages{1000});
+  EXPECT_EQ(epc.resident_of(1), total - Pages{1000});
+  // Residency never exceeds the physical EPC.
+  EXPECT_EQ(epc.resident_pages(), total);
+}
+
+TEST(EpcAccounting, ReleaseBringsPagedEnclaveBack) {
+  EpcAccounting epc{EpcConfig::sgx1()};
+  const Pages total = epc.total_pages();
+  epc.commit(1, total);
+  epc.commit(2, Pages{1000});
+  epc.release(2);
+  EXPECT_FALSE(epc.overcommitted());
+  EXPECT_EQ(epc.resident_of(1), total);
+}
+
+TEST(EpcAccounting, PressureScalesWithCommitment) {
+  EpcAccounting epc{EpcConfig::sgx1()};
+  const Pages half{epc.total_pages().count() / 2};
+  epc.commit(1, half);
+  EXPECT_NEAR(epc.pressure(), 0.5, 1e-4);
+  epc.commit(2, epc.total_pages());
+  EXPECT_NEAR(epc.pressure(), 1.5, 1e-4);
+}
+
+TEST(EpcAccounting, ManySmallEnclavesShareTheEpc) {
+  // The device-plugin design goal: several pods (enclaves) on one node.
+  EpcAccounting epc{EpcConfig::sgx1()};
+  for (EnclaveId id = 1; id <= 20; ++id) {
+    epc.commit(id, Pages{1000});
+  }
+  EXPECT_EQ(epc.enclave_count(), 20u);
+  EXPECT_EQ(epc.committed_pages(), Pages{20'000});
+  EXPECT_FALSE(epc.overcommitted());
+  for (EnclaveId id = 1; id <= 20; ++id) {
+    EXPECT_EQ(epc.resident_of(id), Pages{1000});
+  }
+}
+
+TEST(EpcAccounting, SmallGeometryForSimulations) {
+  // Fig. 7 simulates 32 MiB EPCs.
+  EpcAccounting epc{EpcConfig::with_usable(32_MiB)};
+  EXPECT_EQ(epc.total_pages().count(), 8192u);
+}
+
+}  // namespace
+}  // namespace sgxo::sgx

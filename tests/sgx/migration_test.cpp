@@ -1,0 +1,180 @@
+// Tests of secure enclave checkpoint/restore: state transfer, fork and
+// rollback protection, self-destroy, and target-side enforcement.
+#include "sgx/migration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sgxo::sgx {
+namespace {
+
+using namespace sgxo::literals;
+
+class MigrationFixture : public ::testing::Test {
+ protected:
+  MigrationFixture()
+      : source_(make_driver()), target_(make_driver()), service_(model_) {
+    source_.set_pod_limit("/pod", Pages{8192});
+    target_.set_pod_limit("/pod", Pages{8192});
+  }
+
+  static DriverConfig make_driver() {
+    DriverConfig config;
+    config.enforce_limits = true;
+    return config;
+  }
+
+  EnclaveId make_enclave(Driver& driver, Pages pages = Pages{2048}) {
+    const EnclaveId id = driver.create_enclave(1, "/pod", pages);
+    driver.init_enclave(id);
+    return id;
+  }
+
+  PerfModel model_;
+  Driver source_;
+  Driver target_;
+  MigrationService service_;
+};
+
+TEST_F(MigrationFixture, CheckpointSelfDestroysSource) {
+  const EnclaveId id = make_enclave(source_);
+  auto result = service_.checkpoint(source_, id, /*lineage=*/7);
+  EXPECT_EQ(result.checkpoint.pages(), Pages{2048});
+  EXPECT_GT(result.latency, Duration::millis(10));  // quiescence floor
+  // The source copy is gone — it cannot run concurrently with a restore.
+  EXPECT_EQ(source_.enclave_count(), 0u);
+  EXPECT_EQ(source_.free_epc_pages(), source_.total_epc_pages());
+  EXPECT_EQ(service_.checkpoints_taken(), 1u);
+}
+
+TEST_F(MigrationFixture, CheckpointRequiresInitializedEnclave) {
+  const EnclaveId id = source_.create_enclave(1, "/pod", Pages{16});
+  EXPECT_THROW((void)service_.checkpoint(source_, id, 7), MigrationError);
+}
+
+TEST_F(MigrationFixture, RestoreRecreatesEnclaveOnTarget) {
+  const EnclaveId id = make_enclave(source_);
+  auto cp = service_.checkpoint(source_, id, 7);
+  auto restored = service_.restore(target_, cp.checkpoint, 42, "/pod");
+  EXPECT_TRUE(target_.enclave_initialized(restored.enclave));
+  EXPECT_EQ(target_.process_pages(42), Pages{2048});
+  EXPECT_GT(restored.latency, Duration{});
+  EXPECT_TRUE(cp.checkpoint.consumed());
+  EXPECT_EQ(service_.restores_done(), 1u);
+}
+
+TEST_F(MigrationFixture, ForkAttackPrevented) {
+  const EnclaveId id = make_enclave(source_);
+  auto cp = service_.checkpoint(source_, id, 7);
+  (void)service_.restore(target_, cp.checkpoint, 42, "/pod");
+  // Restoring the same checkpoint again would fork the enclave.
+  Driver second_target{make_driver()};
+  second_target.set_pod_limit("/pod", Pages{8192});
+  EXPECT_THROW((void)service_.restore(second_target, cp.checkpoint, 43,
+                                      "/pod"),
+               MigrationError);
+}
+
+TEST_F(MigrationFixture, RollbackAttackPrevented) {
+  // Checkpoint, restore, checkpoint again (newer generation), then try to
+  // restore the *old* checkpoint: stale state must be rejected.
+  const EnclaveId id = make_enclave(source_);
+  auto old_cp = service_.checkpoint(source_, id, /*lineage=*/7);
+  auto restored = service_.restore(target_, old_cp.checkpoint, 42, "/pod");
+  auto new_cp = service_.checkpoint(target_, restored.enclave, 7);
+
+  // Forge an unconsumed copy of the old generation (an attacker replaying
+  // a recorded blob).
+  EnclaveCheckpoint stale = old_cp.checkpoint;
+  Driver replay_target{make_driver()};
+  replay_target.set_pod_limit("/pod", Pages{8192});
+  EXPECT_THROW((void)service_.restore(replay_target, stale, 44, "/pod"),
+               MigrationError);
+
+  // The latest generation restores fine.
+  EXPECT_NO_THROW(
+      (void)service_.restore(replay_target, new_cp.checkpoint, 44, "/pod"));
+}
+
+TEST_F(MigrationFixture, UnknownLineageRejected) {
+  EnclaveCheckpoint forged;
+  EXPECT_THROW((void)service_.restore(target_, forged, 1, "/pod"),
+               MigrationError);
+}
+
+TEST_F(MigrationFixture, TargetEnforcementStillApplies) {
+  const EnclaveId id = make_enclave(source_, Pages{4096});
+  auto cp = service_.checkpoint(source_, id, 7);
+  Driver strict{make_driver()};
+  strict.set_pod_limit("/pod", Pages{100});  // too small for the enclave
+  EXPECT_THROW((void)service_.restore(strict, cp.checkpoint, 42, "/pod"),
+               EnclaveInitDenied);
+  // The failed restore did not consume the checkpoint: the workload can
+  // still be restored elsewhere.
+  EXPECT_FALSE(cp.checkpoint.consumed());
+  EXPECT_NO_THROW((void)service_.restore(target_, cp.checkpoint, 42, "/pod"));
+}
+
+TEST_F(MigrationFixture, TransferLatencyScalesWithBlob) {
+  const EnclaveId small_id = make_enclave(source_, Pages{256});
+  auto small = service_.checkpoint(source_, small_id, 1);
+  const EnclaveId big_id = make_enclave(source_, Pages{8192});
+  auto big = service_.checkpoint(source_, big_id, 2);
+  EXPECT_GT(service_.transfer_latency(big.checkpoint),
+            service_.transfer_latency(small.checkpoint));
+  // 1 MiB enclave + 64 KiB metadata at 125 MB/s ≈ 9 ms.
+  EXPECT_NEAR(service_.transfer_latency(small.checkpoint).as_millis(), 8.9,
+              0.5);
+}
+
+TEST_F(MigrationFixture, KeyedCheckpointRoundTrips) {
+  const HashKey migration_key{11, 22};
+  const EnclaveId id = make_enclave(source_);
+  auto cp = service_.checkpoint(source_, id, 7, migration_key);
+  EXPECT_TRUE(cp.checkpoint.protected_by_key());
+  auto restored =
+      service_.restore(target_, cp.checkpoint, 42, "/pod", migration_key);
+  EXPECT_TRUE(target_.enclave_initialized(restored.enclave));
+  EXPECT_TRUE(cp.checkpoint.protected_by_key());  // flag preserved
+}
+
+TEST_F(MigrationFixture, WrongMigrationKeyRejected) {
+  const EnclaveId id = make_enclave(source_);
+  auto cp = service_.checkpoint(source_, id, 7, HashKey{11, 22});
+  EXPECT_THROW((void)service_.restore(target_, cp.checkpoint, 42, "/pod",
+                                      HashKey{11, 23}),
+               MigrationError);
+  // The failed attempt did not consume the checkpoint.
+  EXPECT_FALSE(cp.checkpoint.consumed());
+  EXPECT_NO_THROW((void)service_.restore(target_, cp.checkpoint, 42, "/pod",
+                                         HashKey{11, 22}));
+}
+
+TEST_F(MigrationFixture, KeyedCheckpointRefusesUnkeyedRestore) {
+  const EnclaveId id = make_enclave(source_);
+  auto cp = service_.checkpoint(source_, id, 7, HashKey{11, 22});
+  EXPECT_THROW((void)service_.restore(target_, cp.checkpoint, 42, "/pod"),
+               MigrationError);
+}
+
+TEST_F(MigrationFixture, UnkeyedCheckpointRefusesKeyedRestore) {
+  const EnclaveId id = make_enclave(source_);
+  auto cp = service_.checkpoint(source_, id, 7);
+  EXPECT_THROW((void)service_.restore(target_, cp.checkpoint, 42, "/pod",
+                                      HashKey{11, 22}),
+               MigrationError);
+}
+
+TEST_F(MigrationFixture, GenerationsIncreasePerLineage) {
+  const EnclaveId a = make_enclave(source_);
+  auto cp_a = service_.checkpoint(source_, a, /*lineage=*/1);
+  const EnclaveId b = make_enclave(source_);
+  auto cp_b = service_.checkpoint(source_, b, /*lineage=*/1);
+  EXPECT_EQ(cp_a.checkpoint.generation() + 1, cp_b.checkpoint.generation());
+  // Independent lineages have independent counters.
+  const EnclaveId c = make_enclave(source_);
+  auto cp_c = service_.checkpoint(source_, c, /*lineage=*/2);
+  EXPECT_EQ(cp_c.checkpoint.generation(), 1u);
+}
+
+}  // namespace
+}  // namespace sgxo::sgx

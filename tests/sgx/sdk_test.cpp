@@ -1,0 +1,111 @@
+#include "sgx/sdk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sgxo::sgx {
+namespace {
+
+using namespace sgxo::literals;
+
+class SdkFixture : public ::testing::Test {
+ protected:
+  SdkFixture() : driver_(make_config()), sdk_(driver_, model_) {}
+
+  static DriverConfig make_config() {
+    DriverConfig config;
+    config.enforce_limits = true;
+    return config;
+  }
+
+  PerfModel model_;
+  Driver driver_;
+  Sdk sdk_;
+};
+
+TEST_F(SdkFixture, AesmStartsOncePerContainer) {
+  AesmService aesm{model_};
+  EXPECT_FALSE(aesm.running());
+  const Duration first = aesm.start();
+  EXPECT_EQ(first, Duration::millis(100));
+  EXPECT_TRUE(aesm.running());
+  // Already running: no second startup penalty.
+  EXPECT_EQ(aesm.start(), Duration{});
+}
+
+TEST_F(SdkFixture, LaunchCommitsInitializesAndTimes) {
+  driver_.set_pod_limit("/pod-a", Pages{8192});
+  auto launch = sdk_.launch_enclave(1, "/pod-a", 16_MiB);
+  EXPECT_TRUE(launch.enclave.valid());
+  EXPECT_EQ(launch.enclave.pages(), Pages{4096});
+  EXPECT_TRUE(driver_.enclave_initialized(launch.enclave.id()));
+  // 16 MiB × 1.6 ms/MiB.
+  EXPECT_NEAR(launch.latency.as_millis(), 25.6, 0.01);
+}
+
+TEST_F(SdkFixture, LaunchDeniedReleasesPages) {
+  driver_.set_pod_limit("/pod-a", Pages{10});
+  EXPECT_THROW((void)sdk_.launch_enclave(1, "/pod-a", 16_MiB),
+               EnclaveInitDenied);
+  EXPECT_EQ(driver_.free_epc_pages(), driver_.total_epc_pages());
+}
+
+TEST_F(SdkFixture, HandleReleasesOnDestruction) {
+  driver_.set_pod_limit("/pod-a", Pages{8192});
+  {
+    auto launch = sdk_.launch_enclave(1, "/pod-a", 16_MiB);
+    EXPECT_LT(driver_.free_epc_pages(), driver_.total_epc_pages());
+  }
+  EXPECT_EQ(driver_.free_epc_pages(), driver_.total_epc_pages());
+}
+
+TEST_F(SdkFixture, HandleMoveTransfersOwnership) {
+  driver_.set_pod_limit("/pod-a", Pages{8192});
+  auto launch = sdk_.launch_enclave(1, "/pod-a", 16_MiB);
+  EnclaveHandle moved = std::move(launch.enclave);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_FALSE(launch.enclave.valid());
+  moved.destroy();
+  EXPECT_FALSE(moved.valid());
+  EXPECT_EQ(driver_.enclave_count(), 0u);
+}
+
+TEST_F(SdkFixture, DestroyIsIdempotent) {
+  driver_.set_pod_limit("/pod-a", Pages{8192});
+  auto launch = sdk_.launch_enclave(1, "/pod-a", 16_MiB);
+  launch.enclave.destroy();
+  EXPECT_NO_THROW(launch.enclave.destroy());
+}
+
+TEST_F(SdkFixture, EcallAddsTransitionOverhead) {
+  driver_.set_pod_limit("/pod-a", Pages{8192});
+  auto launch = sdk_.launch_enclave(1, "/pod-a", 16_MiB);
+  const Duration latency = launch.enclave.ecall(Duration::millis(1));
+  // No over-commitment → work runs at native speed + 8 us transitions.
+  EXPECT_EQ(latency, Duration::millis(1) + Duration::micros(8));
+  EXPECT_EQ(launch.enclave.ecall_count(), 1u);
+}
+
+TEST_F(SdkFixture, EcallSlowsUnderEpcPressure) {
+  DriverConfig stock;
+  stock.enforce_limits = false;
+  Driver driver{stock};
+  Sdk sdk{driver, model_};
+  // Fill the EPC twice over → ~1000× slowdown regime.
+  auto big1 = sdk.launch_enclave(1, "/p1", mib(93.5));
+  auto big2 = sdk.launch_enclave(2, "/p2", mib(93.5));
+  const Duration slow = big2.enclave.ecall(Duration::millis(1));
+  EXPECT_GT(slow, Duration::millis(500));
+}
+
+TEST_F(SdkFixture, EcallOnDestroyedEnclaveIsAnError) {
+  driver_.set_pod_limit("/pod-a", Pages{8192});
+  auto launch = sdk_.launch_enclave(1, "/pod-a", 16_MiB);
+  launch.enclave.destroy();
+  EXPECT_THROW((void)launch.enclave.ecall(Duration::millis(1)),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgxo::sgx

@@ -1,0 +1,267 @@
+// Tests of SGX 2 dynamic enclave memory (§VI-G): EAUG/EACCEPT growth,
+// trimming, the port of limit enforcement to growth time, and the Kubelet
+// integration driving dynamic workload profiles.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cluster/kubelet.hpp"
+#include "common/error.hpp"
+#include "sgx/sdk.hpp"
+#include "sim/simulation.hpp"
+
+namespace sgxo::sgx {
+namespace {
+
+using namespace sgxo::literals;
+
+DriverConfig sgx2(bool enforce = true) {
+  DriverConfig config;
+  config.version = SgxVersion::kSgx2;
+  config.enforce_limits = enforce;
+  return config;
+}
+
+TEST(Sgx2Epc, ResizeGrowsAndShrinks) {
+  EpcAccounting epc{EpcConfig::sgx1()};
+  epc.commit(1, Pages{100});
+  epc.resize(1, Pages{500});
+  EXPECT_EQ(epc.pages_of(1), Pages{500});
+  EXPECT_EQ(epc.committed_pages(), Pages{500});
+  epc.resize(1, Pages{50});
+  EXPECT_EQ(epc.committed_pages(), Pages{50});
+}
+
+TEST(Sgx2Epc, ResizeValidation) {
+  EpcAccounting epc{EpcConfig::sgx1()};
+  epc.commit(1, Pages{100});
+  EXPECT_THROW(epc.resize(2, Pages{10}), ContractViolation);
+  EXPECT_THROW(epc.resize(1, Pages{0}), ContractViolation);
+}
+
+TEST(Sgx2Epc, ResizeTriggersPaging) {
+  EpcAccounting epc{EpcConfig::sgx1()};
+  const Pages total = epc.total_pages();
+  epc.commit(1, Pages{1000});
+  epc.commit(2, Pages{1000});
+  epc.resize(2, total);  // now over-committed
+  EXPECT_TRUE(epc.overcommitted());
+  EXPECT_EQ(epc.resident_pages(), total);
+}
+
+TEST(Sgx2Driver, VersionNames) {
+  EXPECT_STREQ(to_string(SgxVersion::kSgx1), "SGX1");
+  EXPECT_STREQ(to_string(SgxVersion::kSgx2), "SGX2");
+}
+
+TEST(Sgx2Driver, Sgx1DriverRejectsDynamicOps) {
+  Driver driver{DriverConfig{}};
+  driver.set_pod_limit("/p", Pages{100});
+  const EnclaveId id = driver.create_enclave(1, "/p", Pages{10});
+  driver.init_enclave(id);
+  EXPECT_THROW(driver.augment_enclave(id, Pages{1}), DomainError);
+  EXPECT_THROW(driver.trim_enclave(id, Pages{1}), DomainError);
+}
+
+TEST(Sgx2Driver, GrowthWithinLimitSucceeds) {
+  Driver driver{sgx2()};
+  driver.set_pod_limit("/p", Pages{100});
+  const EnclaveId id = driver.create_enclave(1, "/p", Pages{10});
+  driver.init_enclave(id);
+  driver.augment_enclave(id, Pages{90});
+  EXPECT_EQ(driver.pod_pages("/p"), Pages{100});
+  EXPECT_EQ(driver.free_epc_pages(), driver.total_epc_pages() - Pages{100});
+}
+
+TEST(Sgx2Driver, GrowthBeyondLimitDenied) {
+  Driver driver{sgx2()};
+  driver.set_pod_limit("/p", Pages{100});
+  const EnclaveId id = driver.create_enclave(1, "/p", Pages{10});
+  driver.init_enclave(id);
+  EXPECT_THROW(driver.augment_enclave(id, Pages{91}), EnclaveGrowthDenied);
+  // The enclave keeps its current size after a denied growth.
+  EXPECT_EQ(driver.pod_pages("/p"), Pages{10});
+}
+
+TEST(Sgx2Driver, GrowthLimitAggregatesAcrossPodEnclaves) {
+  Driver driver{sgx2()};
+  driver.set_pod_limit("/p", Pages{100});
+  const EnclaveId a = driver.create_enclave(1, "/p", Pages{40});
+  driver.init_enclave(a);
+  const EnclaveId b = driver.create_enclave(1, "/p", Pages{40});
+  driver.init_enclave(b);
+  EXPECT_THROW(driver.augment_enclave(a, Pages{21}), EnclaveGrowthDenied);
+  EXPECT_NO_THROW(driver.augment_enclave(a, Pages{20}));
+}
+
+TEST(Sgx2Driver, StockSgx2DriverAllowsUnboundedGrowth) {
+  Driver driver{sgx2(/*enforce=*/false)};
+  const EnclaveId id = driver.create_enclave(1, "/p", Pages{10});
+  driver.init_enclave(id);
+  EXPECT_NO_THROW(driver.augment_enclave(id, Pages{50'000}));
+  EXPECT_TRUE(driver.epc().overcommitted());
+}
+
+TEST(Sgx2Driver, TrimValidation) {
+  Driver driver{sgx2()};
+  driver.set_pod_limit("/p", Pages{100});
+  const EnclaveId id = driver.create_enclave(1, "/p", Pages{10});
+  driver.init_enclave(id);
+  driver.trim_enclave(id, Pages{9});
+  EXPECT_EQ(driver.pod_pages("/p"), Pages{1});
+  EXPECT_THROW(driver.trim_enclave(id, Pages{1}), ContractViolation);
+}
+
+TEST(Sgx2Driver, DynamicOpsRequireInitializedEnclave) {
+  Driver driver{sgx2()};
+  driver.set_pod_limit("/p", Pages{100});
+  const EnclaveId id = driver.create_enclave(1, "/p", Pages{10});
+  EXPECT_THROW(driver.augment_enclave(id, Pages{1}), ContractViolation);
+  EXPECT_THROW(driver.trim_enclave(id, Pages{1}), ContractViolation);
+}
+
+TEST(Sgx2Sdk, HandleGrowShrinkTracksPages) {
+  PerfModel model;
+  Driver driver{sgx2()};
+  driver.set_pod_limit("/p", Pages{8192});
+  Sdk sdk{driver, model};
+  auto launch = sdk.launch_enclave(1, "/p", 8_MiB);
+  EXPECT_EQ(launch.enclave.pages(), Pages{2048});
+  const Duration grow_latency = launch.enclave.grow(8_MiB);
+  EXPECT_EQ(launch.enclave.pages(), Pages{4096});
+  // 8 MiB at 1.6 ms/MiB, no build-time knee.
+  EXPECT_NEAR(grow_latency.as_millis(), 12.8, 0.01);
+  (void)launch.enclave.shrink(8_MiB);
+  EXPECT_EQ(launch.enclave.pages(), Pages{2048});
+}
+
+TEST(Sgx2Sdk, DynamicAllocCheaperThanRebuild) {
+  const PerfModel model;
+  // Growing past the old usable boundary costs no 200 ms knee.
+  EXPECT_LT(model.dynamic_alloc_latency(mib(34.5)),
+            model.alloc_latency(mib(128.0), mib(93.5)) -
+                model.alloc_latency(mib(93.5), mib(93.5)));
+}
+
+// ---- Kubelet integration ----------------------------------------------------
+
+class NullListener final : public cluster::PodLifecycleListener {
+ public:
+  void on_pod_running(const cluster::PodName& pod) override {
+    running.push_back(pod);
+  }
+  void on_pod_succeeded(const cluster::PodName& pod) override {
+    succeeded.push_back(pod);
+  }
+  void on_pod_failed(const cluster::PodName& pod,
+                     const std::string& reason) override {
+    failed[pod] = reason;
+  }
+  std::vector<cluster::PodName> running;
+  std::vector<cluster::PodName> succeeded;
+  std::map<cluster::PodName, std::string> failed;
+};
+
+cluster::MachineSpec sgx2_machine() {
+  cluster::MachineSpec spec;
+  spec.name = "sgx2-1";
+  spec.cpu_cores = 4;
+  spec.memory = 8_GiB;
+  spec.epc = EpcConfig::sgx1();
+  spec.sgx_version = SgxVersion::kSgx2;
+  return spec;
+}
+
+cluster::PodSpec dynamic_pod(const std::string& name, Pages request,
+                             Pages limit, Bytes peak, double fraction,
+                             Duration duration) {
+  cluster::PodBehavior behavior;
+  behavior.sgx = true;
+  behavior.actual_usage = peak;
+  behavior.duration = duration;
+  behavior.initial_usage_fraction = fraction;
+  return cluster::make_stressor_pod(name, {0_B, request}, {0_B, limit},
+                                    behavior);
+}
+
+class Sgx2KubeletFixture : public ::testing::Test {
+ protected:
+  Sgx2KubeletFixture()
+      : node_(sgx2_machine(), /*enforce_epc_limits=*/true),
+        kubelet_(sim_, node_, perf_, registry_, listener_) {}
+
+  sim::Simulation sim_;
+  PerfModel perf_;
+  cluster::ImageRegistry registry_;
+  cluster::Node node_;
+  NullListener listener_;
+  cluster::Kubelet kubelet_;
+};
+
+TEST_F(Sgx2KubeletFixture, DynamicPodGrowsAndShrinks) {
+  // 32 MiB peak, 25 % committed at build; runs for 90 s.
+  kubelet_.admit_pod(dynamic_pod("dyn", Pages{2048}, Pages{8192}, 32_MiB,
+                                 0.25, Duration::seconds(90)));
+  const auto pod_pages = [&] {
+    return node_.driver()->pod_pages(
+        cluster::ContainerRuntime::cgroup_path_for("dyn"));
+  };
+  // Shortly after start: only the initial 8 MiB committed.
+  sim_.run_until(TimePoint::epoch() + Duration::seconds(10));
+  EXPECT_EQ(pod_pages(), Pages{2048});
+  // After duration/3: grown to the 32 MiB peak.
+  sim_.run_until(TimePoint::epoch() + Duration::seconds(45));
+  EXPECT_EQ(pod_pages(), Pages{8192});
+  // After 2·duration/3: trimmed back to the initial size.
+  sim_.run_until(TimePoint::epoch() + Duration::seconds(75));
+  EXPECT_EQ(pod_pages(), Pages{2048});
+  sim_.run();
+  EXPECT_EQ(listener_.succeeded.size(), 1u);
+  EXPECT_EQ(node_.driver()->free_epc_pages(),
+            node_.driver()->total_epc_pages());
+}
+
+TEST_F(Sgx2KubeletFixture, DynamicStartupCommitsOnlyInitial) {
+  kubelet_.admit_pod(dynamic_pod("fast", Pages{2048}, Pages{8192}, 32_MiB,
+                                 0.25, Duration::seconds(60)));
+  sim_.run();
+  ASSERT_EQ(listener_.running.size(), 1u);
+  // Build-time allocation was 8 MiB, not 32 MiB: SGX 2's startup win.
+}
+
+TEST_F(Sgx2KubeletFixture, GrowthBeyondLimitKillsPodMidRun) {
+  // Declares a 2048-page limit but grows to a 32 MiB (8192-page) peak.
+  kubelet_.admit_pod(dynamic_pod("liar", Pages{512}, Pages{2048}, 32_MiB,
+                                 0.25, Duration::seconds(90)));
+  sim_.run_until(TimePoint::epoch() + Duration::seconds(10));
+  EXPECT_EQ(listener_.running.size(), 1u);  // initial 8 MiB fits the limit
+  sim_.run();
+  ASSERT_TRUE(listener_.failed.count("liar"));
+  EXPECT_EQ(listener_.failed["liar"], "EpcLimitExceeded");
+  EXPECT_EQ(node_.driver()->free_epc_pages(),
+            node_.driver()->total_epc_pages());
+}
+
+TEST(Sgx2Kubelet, Sgx1NodeFallsBackToFullCommit) {
+  sim::Simulation sim;
+  PerfModel perf;
+  cluster::ImageRegistry registry;
+  cluster::MachineSpec spec = sgx2_machine();
+  spec.sgx_version = SgxVersion::kSgx1;
+  cluster::Node node{spec};
+  NullListener listener;
+  cluster::Kubelet kubelet{sim, node, perf, registry, listener};
+
+  kubelet.admit_pod(dynamic_pod("fallback", Pages{8192}, Pages{8192}, 32_MiB,
+                                0.25, Duration::seconds(60)));
+  sim.run_until(TimePoint::epoch() + Duration::seconds(10));
+  // The whole 32 MiB peak is committed at build time on SGX 1.
+  EXPECT_EQ(node.driver()->pod_pages(
+                cluster::ContainerRuntime::cgroup_path_for("fallback")),
+            Pages{8192});
+  sim.run();
+  EXPECT_EQ(listener.succeeded.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sgxo::sgx

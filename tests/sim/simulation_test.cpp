@@ -1,0 +1,185 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sgxo::sim {
+namespace {
+
+TEST(Simulation, StartsAtEpoch) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), TimePoint::epoch());
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint::from_micros(300), [&] { order.push_back(3); });
+  sim.schedule_at(TimePoint::from_micros(100), [&] { order.push_back(1); });
+  sim.schedule_at(TimePoint::from_micros(200), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint::from_micros(300));
+}
+
+TEST(Simulation, EqualTimesFireFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  const TimePoint t = TimePoint::from_micros(50);
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(t, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  TimePoint fired;
+  sim.schedule_after(Duration::seconds(1), [&] {
+    sim.schedule_after(Duration::seconds(2), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, TimePoint::epoch() + Duration::seconds(3));
+}
+
+TEST(Simulation, RejectsPastAndNegative) {
+  Simulation sim;
+  sim.schedule_after(Duration::seconds(5), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint::epoch(), [] {}),
+               ContractViolation);
+  EXPECT_THROW(sim.schedule_after(Duration::seconds(-1), [] {}),
+               ContractViolation);
+}
+
+TEST(Simulation, RejectsNullCallback) {
+  Simulation sim;
+  EXPECT_THROW(sim.schedule_after(Duration{}, Simulation::Callback{}),
+               ContractViolation);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.schedule_after(Duration::seconds(1),
+                                        [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelTwiceReturnsFalse) {
+  Simulation sim;
+  const EventId id = sim.schedule_after(Duration::seconds(1), [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulation, InvalidEventIdNotCancellable) {
+  Simulation sim;
+  EXPECT_FALSE(sim.cancel(EventId{}));
+}
+
+TEST(Simulation, RepeatingEventFiresPeriodically) {
+  Simulation sim;
+  int count = 0;
+  EventId timer = sim.schedule_every(Duration::seconds(1),
+                                     Duration::seconds(2), [&] {
+                                       ++count;
+                                       if (count == 4) sim.cancel(timer);
+                                     });
+  sim.run();
+  EXPECT_EQ(count, 4);
+  // First at t=1s, then every 2s: 1, 3, 5, 7.
+  EXPECT_EQ(sim.now(), TimePoint::epoch() + Duration::seconds(7));
+}
+
+TEST(Simulation, RepeatingEventRejectsNonPositivePeriod) {
+  Simulation sim;
+  EXPECT_THROW(sim.schedule_every(Duration{}, Duration{}, [] {}),
+               ContractViolation);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_every(Duration::seconds(1), Duration::seconds(1),
+                     [&] { ++count; });
+  sim.run_until(TimePoint::epoch() + Duration::from_seconds(3.5));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), TimePoint::epoch() + Duration::from_seconds(3.5));
+}
+
+TEST(Simulation, RunUntilAdvancesClockWhenIdle) {
+  Simulation sim;
+  sim.run_until(TimePoint::epoch() + Duration::minutes(5));
+  EXPECT_EQ(sim.now(), TimePoint::epoch() + Duration::minutes(5));
+}
+
+TEST(Simulation, RunUntilRejectsPastDeadline) {
+  Simulation sim;
+  sim.run_until(TimePoint::epoch() + Duration::seconds(10));
+  EXPECT_THROW(sim.run_until(TimePoint::epoch()), ContractViolation);
+}
+
+TEST(Simulation, RunGuardsAgainstRunaway) {
+  Simulation sim;
+  sim.schedule_every(Duration::seconds(1), Duration::seconds(1), [] {});
+  EXPECT_THROW(sim.run(/*max_events=*/100), ContractViolation);
+}
+
+TEST(Simulation, FiredEventsCounter) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_after(Duration::seconds(i + 1), [] {});
+  }
+  sim.run();
+  EXPECT_EQ(sim.fired_events(), 5u);
+}
+
+TEST(Simulation, EventsScheduledDuringRunExecute) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      sim.schedule_after(Duration::millis(10), recurse);
+    }
+  };
+  sim.schedule_after(Duration{}, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(Simulation, CancelRepeatingFromOutside) {
+  Simulation sim;
+  int count = 0;
+  const EventId timer = sim.schedule_every(
+      Duration::seconds(1), Duration::seconds(1), [&] { ++count; });
+  sim.schedule_at(TimePoint::epoch() + Duration::from_seconds(2.5),
+                  [&] { sim.cancel(timer); });
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    Simulation sim;
+    std::vector<std::int64_t> stamps;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_after(Duration::millis(100 - i), [&stamps, &sim] {
+        stamps.push_back(sim.now().micros_since_epoch());
+      });
+    }
+    sim.run();
+    return stamps;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace sgxo::sim

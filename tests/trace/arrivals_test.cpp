@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "trace/generator.hpp"
+
+namespace sgxo::trace {
+namespace {
+
+std::vector<TraceJob> slice_with(ArrivalPattern pattern,
+                                 std::uint64_t seed = 2011) {
+  BorgTraceConfig config;
+  config.arrivals = pattern;
+  config.seed = seed;
+  return BorgTraceGenerator{config}.evaluation_slice();
+}
+
+double slice_seconds() {
+  const BorgTraceConfig config;
+  return (config.slice_end - config.slice_start).as_seconds();
+}
+
+TEST(Arrivals, Names) {
+  EXPECT_STREQ(to_string(ArrivalPattern::kUniform), "uniform");
+  EXPECT_STREQ(to_string(ArrivalPattern::kPoisson), "poisson");
+  EXPECT_STREQ(to_string(ArrivalPattern::kBursty), "bursty");
+}
+
+TEST(Arrivals, AllPatternsKeepCardinalityAndBounds) {
+  for (const ArrivalPattern pattern :
+       {ArrivalPattern::kUniform, ArrivalPattern::kPoisson,
+        ArrivalPattern::kBursty}) {
+    const auto jobs = slice_with(pattern);
+    EXPECT_EQ(jobs.size(), 663u) << to_string(pattern);
+    Duration prev{};
+    for (const TraceJob& job : jobs) {
+      EXPECT_GE(job.submission, prev) << to_string(pattern);
+      EXPECT_LT(job.submission.as_seconds(), slice_seconds())
+          << to_string(pattern);
+      prev = job.submission;
+    }
+    const auto over = std::count_if(jobs.begin(), jobs.end(),
+                                    [](const TraceJob& j) {
+                                      return j.over_allocates();
+                                    });
+    EXPECT_EQ(over, 44) << to_string(pattern);
+  }
+}
+
+TEST(Arrivals, BurstyIsMoreClusteredThanUniform) {
+  // Measure clustering as the fraction of the slice's 1-minute bins that
+  // receive at least one arrival: bursts concentrate arrivals into few
+  // bins.
+  const auto occupancy = [](const std::vector<TraceJob>& jobs) {
+    std::set<int> bins;
+    for (const TraceJob& job : jobs) {
+      bins.insert(static_cast<int>(job.submission.as_seconds() / 60.0));
+    }
+    return bins.size();
+  };
+  EXPECT_LT(occupancy(slice_with(ArrivalPattern::kBursty)),
+            occupancy(slice_with(ArrivalPattern::kUniform)) / 2);
+}
+
+TEST(Arrivals, PoissonHasVariableGaps) {
+  const auto jobs = slice_with(ArrivalPattern::kPoisson);
+  // Coefficient of variation of interarrival gaps ≈ 1 for a Poisson
+  // process (vs ~1 for uniform order statistics too — so just check the
+  // process is non-degenerate and spans the slice).
+  EXPECT_GT(jobs.back().submission.as_seconds(), slice_seconds() * 0.9);
+  EXPECT_LT(jobs.front().submission.as_seconds(), slice_seconds() * 0.1);
+}
+
+TEST(Arrivals, DeterministicPerPatternAndSeed) {
+  const auto a = slice_with(ArrivalPattern::kBursty, 5);
+  const auto b = slice_with(ArrivalPattern::kBursty, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].submission, b[i].submission);
+  }
+  const auto c = slice_with(ArrivalPattern::kPoisson, 5);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].submission != c[i].submission) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace sgxo::trace

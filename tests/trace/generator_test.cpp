@@ -1,0 +1,187 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sgxo::trace {
+namespace {
+
+TEST(Generator, EvaluationSliceHasPaperCardinality) {
+  const BorgTraceGenerator generator;
+  const auto jobs = generator.evaluation_slice();
+  // §VI-B / §VI-F: 663 jobs, 44 of which over-allocate.
+  EXPECT_EQ(jobs.size(), 663u);
+  const auto over = std::count_if(jobs.begin(), jobs.end(),
+                                  [](const TraceJob& j) {
+                                    return j.over_allocates();
+                                  });
+  EXPECT_EQ(over, 44);
+}
+
+TEST(Generator, SubmissionsSortedWithinSlice) {
+  const BorgTraceGenerator generator;
+  const auto jobs = generator.evaluation_slice();
+  const double slice_seconds = 10'080 - 6'480;
+  Duration prev{};
+  for (const TraceJob& job : jobs) {
+    EXPECT_GE(job.submission, prev);
+    EXPECT_LT(job.submission.as_seconds(), slice_seconds);
+    prev = job.submission;
+  }
+}
+
+TEST(Generator, DurationsRespectFig4Cap) {
+  const BorgTraceGenerator generator;
+  for (const TraceJob& job : generator.evaluation_slice()) {
+    EXPECT_GT(job.duration, Duration{});
+    EXPECT_LE(job.duration, Duration::seconds(300));
+  }
+}
+
+TEST(Generator, MemoryFractionsRespectFig3Support) {
+  const BorgTraceGenerator generator;
+  for (const TraceJob& job : generator.evaluation_slice()) {
+    EXPECT_GT(job.max_memory_usage, 0.0);
+    EXPECT_LE(job.max_memory_usage, 0.5);
+    EXPECT_GT(job.assigned_memory, 0.0);
+    // Advertisements stay within 2× of actual usage.
+    EXPECT_LE(job.assigned_memory, job.max_memory_usage * 2.0 + 1e-12);
+  }
+}
+
+TEST(Generator, DeterministicInSeed) {
+  const BorgTraceGenerator a;
+  const BorgTraceGenerator b;
+  const auto jobs_a = a.evaluation_slice();
+  const auto jobs_b = b.evaluation_slice();
+  ASSERT_EQ(jobs_a.size(), jobs_b.size());
+  for (std::size_t i = 0; i < jobs_a.size(); ++i) {
+    EXPECT_EQ(jobs_a[i].submission, jobs_b[i].submission);
+    EXPECT_DOUBLE_EQ(jobs_a[i].max_memory_usage, jobs_b[i].max_memory_usage);
+  }
+}
+
+TEST(Generator, DifferentSeedsProduceDifferentSlices) {
+  BorgTraceConfig config;
+  config.seed = 999;
+  const auto other = BorgTraceGenerator{config}.evaluation_slice();
+  const auto base = BorgTraceGenerator{}.evaluation_slice();
+  bool any_diff = false;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (base[i].submission != other[i].submission) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, JobIdsFollowSamplingStride) {
+  const BorgTraceGenerator generator;
+  const auto jobs = generator.evaluation_slice();
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id - jobs[i - 1].id, 1200u);
+  }
+}
+
+TEST(Generator, ConfigurableCardinality) {
+  BorgTraceConfig config;
+  config.slice_jobs = 100;
+  config.over_allocating_jobs = 7;
+  const auto jobs = BorgTraceGenerator{config}.evaluation_slice();
+  EXPECT_EQ(jobs.size(), 100u);
+  EXPECT_EQ(std::count_if(jobs.begin(), jobs.end(),
+                          [](const TraceJob& j) { return j.over_allocates(); }),
+            7);
+}
+
+TEST(Generator, ConfigValidation) {
+  BorgTraceConfig empty_slice;
+  empty_slice.slice_start = Duration::seconds(100);
+  empty_slice.slice_end = Duration::seconds(100);
+  EXPECT_THROW(BorgTraceGenerator{empty_slice}, ContractViolation);
+
+  BorgTraceConfig too_many;
+  too_many.slice_jobs = 10;
+  too_many.over_allocating_jobs = 11;
+  EXPECT_THROW(BorgTraceGenerator{too_many}, ContractViolation);
+}
+
+TEST(Generator, MemorySamplesMatchCdfSupport) {
+  const BorgTraceGenerator generator;
+  const auto samples = generator.sample_memory_fractions(5000);
+  EXPECT_EQ(samples.size(), 5000u);
+  double max_seen = 0.0;
+  std::size_t below_10pct = 0;
+  for (const double s : samples) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 0.5);
+    max_seen = std::max(max_seen, s);
+    if (s <= 0.10) ++below_10pct;
+  }
+  EXPECT_GT(max_seen, 0.3);  // the tail is populated
+  // Fig. 3: the majority of jobs use a small fraction.
+  EXPECT_GT(static_cast<double>(below_10pct) / 5000.0, 0.6);
+}
+
+TEST(Generator, DurationSamplesMatchFig4) {
+  const BorgTraceGenerator generator;
+  const auto samples = generator.sample_durations_seconds(5000);
+  for (const double s : samples) {
+    EXPECT_GE(s, 1.0);
+    EXPECT_LE(s, 300.0);
+  }
+}
+
+TEST(Generator, ConcurrencyProfileMatchesFig5) {
+  const BorgTraceGenerator generator;
+  const auto profile = generator.concurrency_profile(Duration::minutes(10));
+  // 24 h at 10 min steps, inclusive endpoints.
+  EXPECT_EQ(profile.size(), 145u);
+  std::uint64_t min_jobs = UINT64_MAX;
+  std::uint64_t max_jobs = 0;
+  for (const ConcurrencyPoint& point : profile) {
+    min_jobs = std::min(min_jobs, point.running_jobs);
+    max_jobs = std::max(max_jobs, point.running_jobs);
+  }
+  // Fig. 5's y-range: ~125k to ~145k concurrently running jobs.
+  EXPECT_GT(min_jobs, 120'000u);
+  EXPECT_LT(max_jobs, 150'000u);
+}
+
+TEST(Generator, EvaluationSliceIsLeastIntensive) {
+  // The paper chose [6480 s, 10080 s) as the least job-intensive hour; the
+  // synthetic wave must dip around that slice.
+  const BorgTraceGenerator generator;
+  const auto profile = generator.concurrency_profile(Duration::minutes(30));
+  double slice_avg = 0.0;
+  int slice_n = 0;
+  double rest_avg = 0.0;
+  int rest_n = 0;
+  for (const ConcurrencyPoint& point : profile) {
+    const double s = point.at.as_seconds();
+    if (s >= 6480 && s < 10'080) {
+      slice_avg += static_cast<double>(point.running_jobs);
+      ++slice_n;
+    } else {
+      rest_avg += static_cast<double>(point.running_jobs);
+      ++rest_n;
+    }
+  }
+  ASSERT_GT(slice_n, 0);
+  ASSERT_GT(rest_n, 0);
+  EXPECT_LT(slice_avg / slice_n, rest_avg / rest_n);
+}
+
+TEST(Generator, CdfAccessorsExposed) {
+  const auto mem = BorgTraceGenerator::memory_fraction_cdf();
+  EXPECT_DOUBLE_EQ(mem.at_quantile(1.0), 0.5);
+  const auto dur = BorgTraceGenerator::duration_seconds_cdf();
+  EXPECT_DOUBLE_EQ(dur.at_quantile(1.0), 300.0);
+}
+
+}  // namespace
+}  // namespace sgxo::trace

@@ -1,0 +1,76 @@
+#include "trace/replayer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "exp/fixture.hpp"
+#include "workload/stressor.hpp"
+
+namespace sgxo::trace {
+namespace {
+
+TraceJob simple_job(std::uint64_t id, std::int64_t submit_s) {
+  TraceJob job;
+  job.id = id;
+  job.submission = Duration::seconds(submit_s);
+  job.duration = Duration::seconds(30);
+  job.assigned_memory = 0.05;
+  job.max_memory_usage = 0.04;
+  return job;
+}
+
+TEST(Replayer, RequiresFactory) {
+  exp::SimulatedCluster cluster;
+  EXPECT_THROW(Replayer(cluster.sim(), cluster.api(), nullptr),
+               ContractViolation);
+}
+
+TEST(Replayer, SubmitsAtTraceOffsets) {
+  exp::SimulatedCluster cluster;
+  Replayer replayer{cluster.sim(), cluster.api(),
+                    [](const TraceJob& job, std::size_t) {
+                      return workload::stressor_pod(job, {});
+                    }};
+  replayer.schedule({simple_job(1, 10), simple_job(2, 40)});
+  EXPECT_EQ(replayer.scheduled_jobs(), 2u);
+
+  cluster.sim().run_until(TimePoint::epoch() + Duration::seconds(5));
+  EXPECT_EQ(cluster.api().pod_count(), 0u);
+  cluster.sim().run_until(TimePoint::epoch() + Duration::seconds(15));
+  EXPECT_EQ(cluster.api().pod_count(), 1u);
+  EXPECT_EQ(cluster.api().pod("job-1").submitted,
+            TimePoint::epoch() + Duration::seconds(10));
+  cluster.sim().run_until(TimePoint::epoch() + Duration::seconds(45));
+  EXPECT_EQ(cluster.api().pod_count(), 2u);
+}
+
+TEST(Replayer, FactoryReceivesIndex) {
+  exp::SimulatedCluster cluster;
+  std::vector<std::size_t> indices;
+  Replayer replayer{cluster.sim(), cluster.api(),
+                    [&indices](const TraceJob& job, std::size_t index) {
+                      indices.push_back(index);
+                      auto pod = workload::stressor_pod(job, {});
+                      pod.name += "-" + std::to_string(index);
+                      return pod;
+                    }};
+  replayer.schedule({simple_job(7, 0), simple_job(7, 1), simple_job(7, 2)});
+  cluster.sim().run_until(TimePoint::epoch() + Duration::seconds(5));
+  EXPECT_EQ(indices, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Replayer, OffsetsRelativeToScheduleTime) {
+  exp::SimulatedCluster cluster;
+  cluster.sim().run_until(TimePoint::epoch() + Duration::minutes(5));
+  Replayer replayer{cluster.sim(), cluster.api(),
+                    [](const TraceJob& job, std::size_t) {
+                      return workload::stressor_pod(job, {});
+                    }};
+  replayer.schedule({simple_job(1, 10)});
+  cluster.sim().run_until(TimePoint::epoch() + Duration::minutes(6));
+  EXPECT_EQ(cluster.api().pod("job-1").submitted,
+            TimePoint::epoch() + Duration::minutes(5) + Duration::seconds(10));
+}
+
+}  // namespace
+}  // namespace sgxo::trace

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "trace/csv.hpp"
+#include "trace/generator.hpp"
+#include "trace/scaler.hpp"
+#include "trace/sgx_mix.hpp"
+
+namespace sgxo::trace {
+namespace {
+
+using namespace sgxo::literals;
+
+TraceJob job(double assigned, double used, bool sgx) {
+  TraceJob j;
+  j.id = 1;
+  j.submission = Duration::seconds(10);
+  j.duration = Duration::seconds(60);
+  j.assigned_memory = assigned;
+  j.max_memory_usage = used;
+  j.sgx = sgx;
+  return j;
+}
+
+TEST(Scaler, SgxJobsScaleToUsableEpc) {
+  // §VI-B: SGX jobs multiply their fraction by 93.5 MiB.
+  const ScaledJob scaled = scale_job(job(0.5, 0.25, true), {});
+  EXPECT_EQ(scaled.advertised, Bytes{mib(93.5).count() / 2});
+  EXPECT_EQ(scaled.actual, Bytes{mib(93.5).count() / 4});
+}
+
+TEST(Scaler, StandardJobsScaleTo32GiB) {
+  const ScaledJob scaled = scale_job(job(0.25, 0.125, false), {});
+  EXPECT_EQ(scaled.advertised, 8_GiB);
+  EXPECT_EQ(scaled.actual, 4_GiB);
+}
+
+TEST(Scaler, CustomBases) {
+  ScalingConfig config;
+  config.sgx_base = 32_MiB;
+  config.standard_base = 16_GiB;
+  EXPECT_EQ(scale_job(job(1.0, 1.0, true), config).actual, 32_MiB);
+  EXPECT_EQ(scale_job(job(0.5, 0.5, false), config).actual, 8_GiB);
+}
+
+TEST(Scaler, RejectsNegativeFractions) {
+  EXPECT_THROW((void)scale_job(job(-0.1, 0.1, false), {}), ContractViolation);
+}
+
+TEST(Scaler, MultiplierRatioMatchesPaper) {
+  // The paper notes the multiplier gap is 350× (32 GiB / 93.5 MiB).
+  const ScalingConfig config;
+  const double ratio = static_cast<double>(config.standard_base.count()) /
+                       static_cast<double>(config.sgx_base.count());
+  EXPECT_NEAR(ratio, 350.0, 1.0);
+}
+
+TEST(SgxMix, DesignatesRequestedFraction) {
+  auto jobs = BorgTraceGenerator{}.evaluation_slice();
+  Rng rng{7};
+  designate_sgx(jobs, 0.25, rng);
+  EXPECT_EQ(sgx_count(jobs), static_cast<std::size_t>(0.25 * 663));
+}
+
+TEST(SgxMix, ExtremesCoverAllOrNone) {
+  auto jobs = BorgTraceGenerator{}.evaluation_slice();
+  Rng rng{7};
+  designate_sgx(jobs, 0.0, rng);
+  EXPECT_EQ(sgx_count(jobs), 0u);
+  designate_sgx(jobs, 1.0, rng);
+  EXPECT_EQ(sgx_count(jobs), jobs.size());
+}
+
+TEST(SgxMix, RedesignationResetsPreviousFlags) {
+  auto jobs = BorgTraceGenerator{}.evaluation_slice();
+  Rng rng{7};
+  designate_sgx(jobs, 1.0, rng);
+  designate_sgx(jobs, 0.5, rng);
+  EXPECT_EQ(sgx_count(jobs), static_cast<std::size_t>(0.5 * 663));
+}
+
+TEST(SgxMix, RejectsOutOfRangeFraction) {
+  auto jobs = BorgTraceGenerator{}.evaluation_slice();
+  Rng rng{7};
+  EXPECT_THROW(designate_sgx(jobs, -0.1, rng), ContractViolation);
+  EXPECT_THROW(designate_sgx(jobs, 1.1, rng), ContractViolation);
+}
+
+TEST(Csv, RoundTripsThroughStream) {
+  const auto jobs = BorgTraceGenerator{}.evaluation_slice();
+  std::stringstream ss;
+  write_csv(ss, jobs);
+  const auto loaded = read_csv(ss);
+  ASSERT_EQ(loaded.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, jobs[i].id);
+    EXPECT_EQ(loaded[i].submission, jobs[i].submission);
+    EXPECT_EQ(loaded[i].duration, jobs[i].duration);
+    EXPECT_DOUBLE_EQ(loaded[i].assigned_memory, jobs[i].assigned_memory);
+    EXPECT_DOUBLE_EQ(loaded[i].max_memory_usage, jobs[i].max_memory_usage);
+    EXPECT_EQ(loaded[i].sgx, jobs[i].sgx);
+  }
+}
+
+TEST(Csv, PreservesSgxFlag) {
+  std::vector<TraceJob> jobs{job(0.1, 0.05, true), job(0.2, 0.1, false)};
+  std::stringstream ss;
+  write_csv(ss, jobs);
+  const auto loaded = read_csv(ss);
+  EXPECT_TRUE(loaded[0].sgx);
+  EXPECT_FALSE(loaded[1].sgx);
+}
+
+TEST(Csv, RejectsMissingHeader) {
+  std::stringstream ss{"1,2,3,4,5,6\n"};
+  EXPECT_THROW((void)read_csv(ss), DomainError);
+}
+
+TEST(Csv, RejectsWrongFieldCount) {
+  std::stringstream ss;
+  ss << "id,submission_us,duration_us,assigned_memory,max_memory_usage,sgx\n"
+     << "1,2,3\n";
+  EXPECT_THROW((void)read_csv(ss), DomainError);
+}
+
+TEST(Csv, RejectsMalformedNumbers) {
+  std::stringstream ss;
+  ss << "id,submission_us,duration_us,assigned_memory,max_memory_usage,sgx\n"
+     << "x,2,3,0.1,0.2,0\n";
+  EXPECT_THROW((void)read_csv(ss), DomainError);
+}
+
+TEST(Csv, RejectsBadSgxFlag) {
+  std::stringstream ss;
+  ss << "id,submission_us,duration_us,assigned_memory,max_memory_usage,sgx\n"
+     << "1,2,3,0.1,0.2,5\n";
+  EXPECT_THROW((void)read_csv(ss), DomainError);
+}
+
+TEST(Csv, SkipsBlankLines) {
+  std::stringstream ss;
+  ss << "id,submission_us,duration_us,assigned_memory,max_memory_usage,sgx\n"
+     << "1,2,3,0.1,0.2,1\n"
+     << "\n";
+  EXPECT_EQ(read_csv(ss).size(), 1u);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const auto jobs = BorgTraceGenerator{}.evaluation_slice();
+  const std::string path = ::testing::TempDir() + "/trace_test.csv";
+  write_csv_file(path, jobs);
+  const auto loaded = read_csv_file(path);
+  EXPECT_EQ(loaded.size(), jobs.size());
+  EXPECT_THROW((void)read_csv_file("/nonexistent/dir/f.csv"), DomainError);
+}
+
+TEST(TraceJob, OverAllocationPredicate) {
+  EXPECT_TRUE(job(0.1, 0.2, false).over_allocates());
+  EXPECT_FALSE(job(0.2, 0.1, false).over_allocates());
+  EXPECT_FALSE(job(0.2, 0.2, false).over_allocates());
+}
+
+}  // namespace
+}  // namespace sgxo::trace

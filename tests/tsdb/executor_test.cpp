@@ -1,0 +1,195 @@
+#include "tsdb/ql/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "tsdb/ql/parser.hpp"
+
+namespace sgxo::tsdb::ql {
+namespace {
+
+TimePoint at(std::int64_t seconds) {
+  return TimePoint::epoch() + Duration::seconds(seconds);
+}
+
+class ExecutorFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two pods on node n1, one pod on n2, samples every 10 s.
+    for (int t = 0; t <= 60; t += 10) {
+      db_.write("sgx/epc", {{"pod_name", "p1"}, {"nodename", "n1"}}, at(t),
+                100.0 + t);
+      db_.write("sgx/epc", {{"pod_name", "p2"}, {"nodename", "n1"}}, at(t),
+                50.0);
+      db_.write("sgx/epc", {{"pod_name", "p3"}, {"nodename", "n2"}}, at(t),
+                10.0);
+    }
+    // A dead pod whose last sample is old.
+    db_.write("sgx/epc", {{"pod_name", "dead"}, {"nodename", "n2"}}, at(5),
+              999.0);
+    // A zero sample that Listing 1 filters out.
+    db_.write("sgx/epc", {{"pod_name", "idle"}, {"nodename", "n2"}}, at(60),
+              0.0);
+  }
+  Database db_;
+};
+
+TEST_F(ExecutorFixture, MaxPerPodOverWindow) {
+  const ResultSet result = query(
+      "SELECT MAX(value) AS epc FROM \"sgx/epc\" WHERE value <> 0 AND "
+      "time >= now() - 25s GROUP BY pod_name, nodename",
+      db_, at(60));
+  // Window [35, 60]: p1 max = 160, p2 = 50, p3 = 10; dead + idle excluded.
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.value_for("pod_name", "p1", "epc"), 160.0);
+  EXPECT_DOUBLE_EQ(result.value_for("pod_name", "p2", "epc"), 50.0);
+  EXPECT_DOUBLE_EQ(result.value_for("pod_name", "p3", "epc"), 10.0);
+}
+
+TEST_F(ExecutorFixture, Listing1SumsPerNode) {
+  const ResultSet result = query(
+      "SELECT SUM(epc) AS epc FROM "
+      "(SELECT MAX(value) AS epc FROM \"sgx/epc\" "
+      "WHERE value <> 0 AND time >= now() - 25s "
+      "GROUP BY pod_name, nodename) "
+      "GROUP BY nodename",
+      db_, at(60));
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.value_for("nodename", "n1", "epc"), 210.0);
+  EXPECT_DOUBLE_EQ(result.value_for("nodename", "n2", "epc"), 10.0);
+}
+
+TEST_F(ExecutorFixture, StaleSamplesInsideWindowStillCount) {
+  // With a 60 s window the dead pod's sample is included — exactly the
+  // metric lag the scheduler has to live with.
+  const ResultSet result = query(
+      "SELECT SUM(epc) AS epc FROM "
+      "(SELECT MAX(value) AS epc FROM \"sgx/epc\" "
+      "WHERE value <> 0 AND time >= now() - 60s "
+      "GROUP BY pod_name, nodename) GROUP BY nodename",
+      db_, at(60));
+  EXPECT_DOUBLE_EQ(result.value_for("nodename", "n2", "epc"), 1009.0);
+}
+
+TEST_F(ExecutorFixture, UnknownMeasurementIsEmpty) {
+  const ResultSet result =
+      query("SELECT MAX(value) FROM nothing", db_, at(60));
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST_F(ExecutorFixture, CountAggregate) {
+  const ResultSet result = query(
+      "SELECT COUNT(value) AS n FROM \"sgx/epc\" WHERE time >= now() - 25s "
+      "GROUP BY nodename",
+      db_, at(60));
+  // Window [35, 60]: n1 has 2 pods × 3 samples = 6; n2 has 3 + 1 zero = 4.
+  EXPECT_DOUBLE_EQ(result.value_for("nodename", "n1", "n"), 6.0);
+  EXPECT_DOUBLE_EQ(result.value_for("nodename", "n2", "n"), 4.0);
+}
+
+TEST_F(ExecutorFixture, MeanMinAggregates) {
+  const ResultSet result = query(
+      "SELECT MEAN(value) AS avg, MIN(value) AS lo FROM \"sgx/epc\" "
+      "WHERE value <> 0 AND time >= now() - 1h GROUP BY pod_name",
+      db_, at(60));
+  // p1: values 100..160 step 10 → mean 130, min 100.
+  EXPECT_DOUBLE_EQ(result.value_for("pod_name", "p1", "avg"), 130.0);
+  EXPECT_DOUBLE_EQ(result.value_for("pod_name", "p1", "lo"), 100.0);
+}
+
+TEST_F(ExecutorFixture, FirstLastAggregates) {
+  const ResultSet result = query(
+      "SELECT FIRST(value) AS f, LAST(value) AS l FROM \"sgx/epc\" "
+      "WHERE value <> 0 GROUP BY pod_name",
+      db_, at(60));
+  // For p1: first sample 100 (t=0), last 160 (t=60).
+  EXPECT_DOUBLE_EQ(result.value_for("pod_name", "p1", "f"), 100.0);
+  EXPECT_DOUBLE_EQ(result.value_for("pod_name", "p1", "l"), 160.0);
+}
+
+TEST_F(ExecutorFixture, NoGroupByProducesSingleRow) {
+  const ResultSet result = query(
+      "SELECT SUM(value) AS total FROM \"sgx/epc\" WHERE time >= now() - 25s "
+      "AND value <> 0",
+      db_, at(60));
+  ASSERT_EQ(result.rows.size(), 1u);
+  // p1: 140+150+160, p2: 3×50, p3: 3×10 → 450 + 150 + 30 = 630.
+  EXPECT_DOUBLE_EQ(result.rows[0].field("total"), 630.0);
+}
+
+TEST_F(ExecutorFixture, GroupByMissingTagGroupsUnderEmpty) {
+  db_.write("untagged", {}, at(60), 5.0);
+  db_.write("untagged", {{"zone", "a"}}, at(60), 7.0);
+  const ResultSet result =
+      query("SELECT SUM(value) AS s FROM untagged GROUP BY zone", db_, at(60));
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.value_for("zone", "", "s"), 5.0);
+  EXPECT_DOUBLE_EQ(result.value_for("zone", "a", "s"), 7.0);
+}
+
+TEST_F(ExecutorFixture, AllRowsFilteredYieldsEmpty) {
+  const ResultSet result = query(
+      "SELECT MAX(value) FROM \"sgx/epc\" WHERE value > 100000", db_, at(60));
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST(Executor, TimeBoundsAreInclusiveExclusiveByOp) {
+  Database db;
+  db.write("m", {}, TimePoint::from_micros(1000), 1.0);
+  db.write("m", {}, TimePoint::from_micros(2000), 2.0);
+  const ResultSet gte = query(
+      "SELECT COUNT(value) AS n FROM m WHERE time >= 2000", db,
+      TimePoint::from_micros(5000));
+  EXPECT_DOUBLE_EQ(gte.rows[0].field("n"), 1.0);
+  const ResultSet gt = query(
+      "SELECT COUNT(value) AS n FROM m WHERE time > 2000", db,
+      TimePoint::from_micros(5000));
+  EXPECT_TRUE(gt.rows.empty());
+}
+
+TEST(Executor, SubqueryFieldMismatchDropsRows) {
+  Database db;
+  db.write("m", {{"k", "v"}}, TimePoint::from_micros(1), 1.0);
+  // Outer aggregates a field the subquery does not produce.
+  const ResultSet result = query(
+      "SELECT SUM(nonexistent) AS s FROM (SELECT MAX(value) AS epc FROM m)",
+      db, TimePoint::from_micros(10));
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST(Executor, ResultSetHelpers) {
+  ResultSet rs;
+  Row r1;
+  r1.tags = {{"nodename", "n1"}};
+  r1.fields = {{"epc", 10.0}};
+  Row r2;
+  r2.tags = {{"nodename", "n2"}};
+  r2.fields = {{"epc", 32.0}};
+  rs.rows = {r1, r2};
+  EXPECT_DOUBLE_EQ(rs.sum("epc"), 42.0);
+  EXPECT_DOUBLE_EQ(rs.sum("other"), 0.0);
+  EXPECT_DOUBLE_EQ(rs.value_for("nodename", "n2", "epc"), 32.0);
+  EXPECT_DOUBLE_EQ(rs.value_for("nodename", "zz", "epc", -1.0), -1.0);
+}
+
+TEST(Executor, RowFieldAccess) {
+  Row row;
+  row.fields = {{"a", 1.0}};
+  EXPECT_TRUE(row.has_field("a"));
+  EXPECT_FALSE(row.has_field("b"));
+  EXPECT_DOUBLE_EQ(row.field("a"), 1.0);
+  EXPECT_THROW((void)row.field("b"), ContractViolation);
+}
+
+TEST(Executor, CompareOpSemantics) {
+  EXPECT_TRUE(compare(1.0, CompareOp::kEq, 1.0));
+  EXPECT_TRUE(compare(1.0, CompareOp::kNeq, 2.0));
+  EXPECT_TRUE(compare(1.0, CompareOp::kLt, 2.0));
+  EXPECT_TRUE(compare(2.0, CompareOp::kLte, 2.0));
+  EXPECT_TRUE(compare(3.0, CompareOp::kGt, 2.0));
+  EXPECT_TRUE(compare(2.0, CompareOp::kGte, 2.0));
+  EXPECT_FALSE(compare(1.0, CompareOp::kGt, 2.0));
+}
+
+}  // namespace
+}  // namespace sgxo::tsdb::ql

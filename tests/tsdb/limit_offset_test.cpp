@@ -1,0 +1,101 @@
+// LIMIT/OFFSET clauses over aggregated results.
+#include <gtest/gtest.h>
+
+#include "tsdb/model.hpp"
+#include "tsdb/ql/executor.hpp"
+#include "tsdb/ql/parser.hpp"
+
+namespace sgxo::tsdb::ql {
+namespace {
+
+TimePoint at(std::int64_t seconds) {
+  return TimePoint::epoch() + Duration::seconds(seconds);
+}
+
+class LimitFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int p = 0; p < 6; ++p) {
+      db_.write("m", {{"pod", "pod-" + std::to_string(p)}}, at(p),
+                static_cast<double>(p));
+    }
+  }
+  Database db_;
+};
+
+TEST_F(LimitFixture, ParserAcceptsLimitAndOffset) {
+  const SelectStmt stmt =
+      parse("SELECT MAX(value) FROM m GROUP BY pod LIMIT 3 OFFSET 2");
+  EXPECT_EQ(stmt.limit, 3u);
+  EXPECT_EQ(stmt.offset, 2u);
+}
+
+TEST_F(LimitFixture, DefaultsAreUnlimited) {
+  const SelectStmt stmt = parse("SELECT MAX(value) FROM m GROUP BY pod");
+  EXPECT_EQ(stmt.limit, 0u);
+  EXPECT_EQ(stmt.offset, 0u);
+}
+
+TEST_F(LimitFixture, RejectsNonPositiveOrFractional) {
+  EXPECT_THROW(parse("SELECT MAX(value) FROM m LIMIT 0"), QueryError);
+  EXPECT_THROW(parse("SELECT MAX(value) FROM m LIMIT 2.5"), QueryError);
+  EXPECT_THROW(parse("SELECT MAX(value) FROM m LIMIT x"), QueryError);
+}
+
+TEST_F(LimitFixture, LimitTruncatesRows) {
+  const ResultSet result =
+      query("SELECT MAX(value) AS v FROM m GROUP BY pod LIMIT 2", db_,
+            at(100));
+  ASSERT_EQ(result.rows.size(), 2u);
+  // Deterministic tag order: pod-0, pod-1.
+  EXPECT_EQ(result.rows[0].tags.at("pod"), "pod-0");
+  EXPECT_EQ(result.rows[1].tags.at("pod"), "pod-1");
+}
+
+TEST_F(LimitFixture, OffsetSkipsRows) {
+  const ResultSet result = query(
+      "SELECT MAX(value) AS v FROM m GROUP BY pod LIMIT 2 OFFSET 3", db_,
+      at(100));
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0].tags.at("pod"), "pod-3");
+  EXPECT_EQ(result.rows[1].tags.at("pod"), "pod-4");
+}
+
+TEST_F(LimitFixture, OffsetBeyondEndYieldsEmpty) {
+  const ResultSet result = query(
+      "SELECT MAX(value) FROM m GROUP BY pod OFFSET 10", db_, at(100));
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST_F(LimitFixture, LimitLargerThanResultIsNoop) {
+  const ResultSet result = query(
+      "SELECT MAX(value) FROM m GROUP BY pod LIMIT 100", db_, at(100));
+  EXPECT_EQ(result.rows.size(), 6u);
+}
+
+TEST_F(LimitFixture, WorksWithTimeWindows) {
+  Database db;
+  for (int s = 0; s < 60; ++s) {
+    db.write("m", {}, at(s), static_cast<double>(s));
+  }
+  const ResultSet result = query(
+      "SELECT MAX(value) AS v FROM m GROUP BY time(10s) LIMIT 2 OFFSET 1",
+      db, at(60));
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0].time, at(10));
+  EXPECT_EQ(result.rows[1].time, at(20));
+}
+
+TEST_F(LimitFixture, SubqueryLimitIndependentOfOuter) {
+  // Inner LIMIT caps the per-pod rows feeding the outer SUM.
+  const ResultSet result = query(
+      "SELECT SUM(v) AS total FROM "
+      "(SELECT MAX(value) AS v FROM m GROUP BY pod LIMIT 3)",
+      db_, at(100));
+  ASSERT_EQ(result.rows.size(), 1u);
+  // pods 0,1,2 → 0+1+2.
+  EXPECT_DOUBLE_EQ(result.rows[0].field("total"), 3.0);
+}
+
+}  // namespace
+}  // namespace sgxo::tsdb::ql

@@ -1,0 +1,119 @@
+#include "tsdb/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sgxo::tsdb {
+namespace {
+
+TimePoint at(std::int64_t seconds) {
+  return TimePoint::epoch() + Duration::seconds(seconds);
+}
+
+TEST(Tags, CanonicalKey) {
+  EXPECT_EQ(tags_key({}), "");
+  EXPECT_EQ(tags_key({{"b", "2"}, {"a", "1"}}), "a=1,b=2");
+}
+
+TEST(Series, AppendsInOrder) {
+  Series s{{{"k", "v"}}};
+  s.append({at(1), 1.0});
+  s.append({at(2), 2.0});
+  s.append({at(3), 3.0});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.points()[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(s.points()[2].value, 3.0);
+}
+
+TEST(Series, OutOfOrderAppendsSorted) {
+  Series s{{}};
+  s.append({at(3), 3.0});
+  s.append({at(1), 1.0});
+  s.append({at(2), 2.0});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.points()[0].time, at(1));
+  EXPECT_EQ(s.points()[1].time, at(2));
+  EXPECT_EQ(s.points()[2].time, at(3));
+}
+
+TEST(Series, WindowQueryInclusive) {
+  Series s{{}};
+  for (int i = 1; i <= 10; ++i) {
+    s.append({at(i), static_cast<double>(i)});
+  }
+  const auto window = s.in_window(at(3), at(6));
+  ASSERT_EQ(window.size(), 4u);
+  EXPECT_DOUBLE_EQ(window.front().value, 3.0);
+  EXPECT_DOUBLE_EQ(window.back().value, 6.0);
+}
+
+TEST(Series, EmptyWindow) {
+  Series s{{}};
+  s.append({at(10), 1.0});
+  EXPECT_TRUE(s.in_window(at(1), at(5)).empty());
+}
+
+TEST(Series, DropBeforeRemovesOldPoints) {
+  Series s{{}};
+  for (int i = 1; i <= 5; ++i) {
+    s.append({at(i), static_cast<double>(i)});
+  }
+  EXPECT_EQ(s.drop_before(at(3)), 2u);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.points().front().time, at(3));
+}
+
+TEST(Measurement, SeriesIdentityByTags) {
+  Measurement m{"m"};
+  Series& a = m.series_for({{"pod", "a"}});
+  Series& b = m.series_for({{"pod", "b"}});
+  Series& a_again = m.series_for({{"pod", "a"}});
+  EXPECT_EQ(&a, &a_again);
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(m.series_count(), 2u);
+}
+
+TEST(Measurement, FindSeries) {
+  Measurement m{"m"};
+  m.series_for({{"pod", "a"}}).append({at(1), 1.0});
+  EXPECT_NE(m.find_series({{"pod", "a"}}), nullptr);
+  EXPECT_EQ(m.find_series({{"pod", "zzz"}}), nullptr);
+}
+
+TEST(Database, WriteCreatesMeasurementsAndSeries) {
+  Database db;
+  db.write("sgx/epc", {{"pod_name", "p1"}, {"nodename", "n1"}}, at(1), 42.0);
+  db.write("sgx/epc", {{"pod_name", "p2"}, {"nodename", "n1"}}, at(1), 7.0);
+  db.write("memory/usage", {{"pod_name", "p1"}}, at(1), 1.0);
+  ASSERT_NE(db.find("sgx/epc"), nullptr);
+  EXPECT_EQ(db.find("sgx/epc")->series_count(), 2u);
+  EXPECT_EQ(db.find("nothing"), nullptr);
+  EXPECT_EQ(db.total_points(), 3u);
+  EXPECT_EQ(db.measurement_names(),
+            (std::vector<std::string>{"memory/usage", "sgx/epc"}));
+}
+
+TEST(Database, RejectsEmptyMeasurementName) {
+  Database db;
+  EXPECT_THROW(db.write("", {}, at(1), 1.0), ContractViolation);
+}
+
+TEST(Database, RetentionDropsOldPoints) {
+  Database db;
+  for (int i = 0; i < 100; ++i) {
+    db.write("m", {{"k", "v"}}, at(i), static_cast<double>(i));
+  }
+  const std::size_t dropped =
+      db.enforce_retention(at(100), Duration::seconds(30));
+  EXPECT_EQ(dropped, 70u);
+  EXPECT_EQ(db.total_points(), 30u);
+}
+
+TEST(Database, RetentionRequiresPositiveWindow) {
+  Database db;
+  EXPECT_THROW(db.enforce_retention(at(10), Duration{}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgxo::tsdb

@@ -1,0 +1,172 @@
+#include "tsdb/ql/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sgxo::tsdb::ql {
+namespace {
+
+TEST(Parser, MinimalSelect) {
+  const SelectStmt stmt = parse("SELECT MAX(value) FROM m");
+  ASSERT_EQ(stmt.projections.size(), 1u);
+  EXPECT_EQ(stmt.projections[0].agg, Aggregate::kMax);
+  EXPECT_EQ(stmt.projections[0].field, "value");
+  EXPECT_EQ(stmt.projections[0].alias, "max");  // defaults to agg name
+  ASSERT_TRUE(std::holds_alternative<std::string>(stmt.source));
+  EXPECT_EQ(std::get<std::string>(stmt.source), "m");
+  EXPECT_TRUE(stmt.where.empty());
+  EXPECT_TRUE(stmt.group_by.empty());
+}
+
+TEST(Parser, CaseInsensitiveKeywords) {
+  const SelectStmt stmt = parse("select sum(value) from m group by k");
+  EXPECT_EQ(stmt.projections[0].agg, Aggregate::kSum);
+  EXPECT_EQ(stmt.group_by, std::vector<std::string>{"k"});
+}
+
+TEST(Parser, AliasViaAs) {
+  const SelectStmt stmt = parse("SELECT MEAN(value) AS avg_mem FROM m");
+  EXPECT_EQ(stmt.projections[0].alias, "avg_mem");
+}
+
+TEST(Parser, MultipleProjections) {
+  const SelectStmt stmt =
+      parse("SELECT MAX(value) AS hi, MIN(value) AS lo, COUNT(*) FROM m");
+  ASSERT_EQ(stmt.projections.size(), 3u);
+  EXPECT_EQ(stmt.projections[0].alias, "hi");
+  EXPECT_EQ(stmt.projections[1].agg, Aggregate::kMin);
+  EXPECT_EQ(stmt.projections[2].agg, Aggregate::kCount);
+  EXPECT_EQ(stmt.projections[2].field, "value");  // COUNT(*) counts rows
+}
+
+TEST(Parser, AllAggregates) {
+  for (const char* name :
+       {"MAX", "MIN", "SUM", "MEAN", "COUNT", "LAST", "FIRST"}) {
+    const SelectStmt stmt =
+        parse(std::string("SELECT ") + name + "(value) FROM m");
+    EXPECT_EQ(to_string(stmt.projections[0].agg),
+              aggregate_from(name).has_value()
+                  ? to_string(*aggregate_from(name))
+                  : "?");
+  }
+  EXPECT_THROW(parse("SELECT MEDIAN(value) FROM m"), QueryError);
+}
+
+TEST(Parser, QuotedMeasurement) {
+  const SelectStmt stmt = parse("SELECT MAX(value) FROM \"sgx/epc\"");
+  EXPECT_EQ(std::get<std::string>(stmt.source), "sgx/epc");
+}
+
+TEST(Parser, FieldPredicate) {
+  const SelectStmt stmt =
+      parse("SELECT MAX(value) FROM m WHERE value <> 0");
+  ASSERT_EQ(stmt.where.size(), 1u);
+  const auto& pred = std::get<FieldPredicate>(stmt.where[0]);
+  EXPECT_EQ(pred.field, "value");
+  EXPECT_EQ(pred.op, CompareOp::kNeq);
+  EXPECT_DOUBLE_EQ(pred.literal, 0.0);
+}
+
+TEST(Parser, NegativeFieldLiteral) {
+  const SelectStmt stmt = parse("SELECT MAX(value) FROM m WHERE value > -2");
+  const auto& pred = std::get<FieldPredicate>(stmt.where[0]);
+  EXPECT_DOUBLE_EQ(pred.literal, -2.0);
+}
+
+TEST(Parser, RelativeTimePredicate) {
+  const SelectStmt stmt =
+      parse("SELECT MAX(value) FROM m WHERE time >= now() - 25s");
+  const auto& pred = std::get<TimePredicate>(stmt.where[0]);
+  EXPECT_EQ(pred.op, CompareOp::kGte);
+  EXPECT_TRUE(pred.relative_to_now);
+  EXPECT_EQ(pred.offset_us, -25'000'000);
+}
+
+TEST(Parser, NowPlusDuration) {
+  const SelectStmt stmt =
+      parse("SELECT MAX(value) FROM m WHERE time < now() + 5m");
+  const auto& pred = std::get<TimePredicate>(stmt.where[0]);
+  EXPECT_EQ(pred.offset_us, 300'000'000);
+}
+
+TEST(Parser, BareNow) {
+  const SelectStmt stmt =
+      parse("SELECT MAX(value) FROM m WHERE time <= now()");
+  const auto& pred = std::get<TimePredicate>(stmt.where[0]);
+  EXPECT_TRUE(pred.relative_to_now);
+  EXPECT_EQ(pred.offset_us, 0);
+}
+
+TEST(Parser, AbsoluteTimePredicate) {
+  const SelectStmt stmt =
+      parse("SELECT MAX(value) FROM m WHERE time >= 123456");
+  const auto& pred = std::get<TimePredicate>(stmt.where[0]);
+  EXPECT_FALSE(pred.relative_to_now);
+  EXPECT_EQ(pred.offset_us, 123456);
+}
+
+TEST(Parser, ConjunctionOfPredicates) {
+  const SelectStmt stmt = parse(
+      "SELECT MAX(value) FROM m WHERE value <> 0 AND time >= now() - 1m AND "
+      "value < 100");
+  EXPECT_EQ(stmt.where.size(), 3u);
+}
+
+TEST(Parser, GroupByMultipleTags) {
+  const SelectStmt stmt =
+      parse("SELECT MAX(value) FROM m GROUP BY pod_name, nodename");
+  EXPECT_EQ(stmt.group_by,
+            (std::vector<std::string>{"pod_name", "nodename"}));
+}
+
+TEST(Parser, Subquery) {
+  const SelectStmt stmt = parse(
+      "SELECT SUM(epc) FROM (SELECT MAX(value) AS epc FROM m GROUP BY p)");
+  ASSERT_TRUE(
+      std::holds_alternative<std::unique_ptr<SelectStmt>>(stmt.source));
+  const auto& sub = *std::get<std::unique_ptr<SelectStmt>>(stmt.source);
+  EXPECT_EQ(sub.projections[0].alias, "epc");
+  EXPECT_EQ(std::get<std::string>(sub.source), "m");
+}
+
+TEST(Parser, Listing1Verbatim) {
+  const SelectStmt stmt = parse(
+      "SELECT SUM(epc) AS epc FROM "
+      "(SELECT MAX(value) AS epc FROM \"sgx/epc\" "
+      "WHERE value <> 0 AND time >= now() - 25s "
+      "GROUP BY pod_name, nodename) "
+      "GROUP BY nodename");
+  EXPECT_EQ(stmt.projections[0].agg, Aggregate::kSum);
+  EXPECT_EQ(stmt.projections[0].field, "epc");
+  EXPECT_EQ(stmt.group_by, std::vector<std::string>{"nodename"});
+  const auto& sub = *std::get<std::unique_ptr<SelectStmt>>(stmt.source);
+  EXPECT_EQ(std::get<std::string>(sub.source), "sgx/epc");
+  EXPECT_EQ(sub.where.size(), 2u);
+  EXPECT_EQ(sub.group_by,
+            (std::vector<std::string>{"pod_name", "nodename"}));
+}
+
+TEST(Parser, ErrorsCarryOffsets) {
+  try {
+    (void)parse("SELECT MAX(value) FROM");
+    FAIL() << "expected QueryError";
+  } catch (const QueryError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsMalformedStatements) {
+  EXPECT_THROW(parse(""), QueryError);
+  EXPECT_THROW(parse("MAX(value) FROM m"), QueryError);
+  EXPECT_THROW(parse("SELECT MAX value FROM m"), QueryError);
+  EXPECT_THROW(parse("SELECT MAX(value FROM m"), QueryError);
+  EXPECT_THROW(parse("SELECT MAX(value) FROM m GROUP nodename"), QueryError);
+  EXPECT_THROW(parse("SELECT MAX(value) FROM m WHERE"), QueryError);
+  EXPECT_THROW(parse("SELECT MAX(value) FROM m trailing"), QueryError);
+  EXPECT_THROW(parse("SELECT MAX(value) FROM (SELECT MIN(value) FROM x"),
+               QueryError);
+  EXPECT_THROW(parse("SELECT MAX(value) FROM m WHERE time >= tomorrow()"),
+               QueryError);
+}
+
+}  // namespace
+}  // namespace sgxo::tsdb::ql

@@ -1,0 +1,175 @@
+#include "workload/stress_sgx.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sgxo::workload {
+namespace {
+
+using namespace sgxo::literals;
+
+TEST(StressArgs, ParsesVmStressor) {
+  const StressPlan plan = parse_stress_args(
+      {"--vm", "2", "--vm-bytes", "1g", "--timeout", "60s"});
+  ASSERT_EQ(plan.stressors.size(), 1u);
+  EXPECT_EQ(plan.stressors[0].kind, StressorKind::kVm);
+  EXPECT_EQ(plan.stressors[0].workers, 2);
+  EXPECT_EQ(plan.stressors[0].bytes, 1_GiB);
+  EXPECT_EQ(plan.timeout, Duration::seconds(60));
+  EXPECT_EQ(plan.total_vm_bytes(), 2_GiB);
+  EXPECT_EQ(plan.total_epc_bytes(), 0_B);
+}
+
+TEST(StressArgs, ParsesEpcStressor) {
+  const StressPlan plan = parse_stress_args(
+      {"--epc", "1", "--epc-bytes", "48m", "--timeout", "5m"});
+  ASSERT_EQ(plan.stressors.size(), 1u);
+  EXPECT_EQ(plan.stressors[0].kind, StressorKind::kEpc);
+  EXPECT_EQ(plan.stressors[0].bytes, 48_MiB);
+  EXPECT_EQ(plan.timeout, Duration::minutes(5));
+  EXPECT_EQ(plan.total_epc_bytes(), 48_MiB);
+}
+
+TEST(StressArgs, ParsesMixedStressors) {
+  const StressPlan plan = parse_stress_args(
+      {"--vm", "1", "--vm-bytes", "512m", "--epc", "2", "--epc-bytes", "8m",
+       "--timeout", "30s"});
+  EXPECT_EQ(plan.stressors.size(), 2u);
+  EXPECT_EQ(plan.total_vm_bytes(), 512_MiB);
+  EXPECT_EQ(plan.total_epc_bytes(), 16_MiB);
+}
+
+TEST(StressArgs, SizeSuffixes) {
+  EXPECT_EQ(parse_stress_args({"--vm", "1", "--vm-bytes", "2k", "--timeout",
+                               "1s"})
+                .stressors[0]
+                .bytes,
+            2_KiB);
+  EXPECT_EQ(parse_stress_args({"--vm", "1", "--vm-bytes", "4096", "--timeout",
+                               "1s"})
+                .stressors[0]
+                .bytes,
+            4096_B);
+  // Uppercase suffix accepted, as in stress-ng.
+  EXPECT_EQ(parse_stress_args({"--vm", "1", "--vm-bytes", "1G", "--timeout",
+                               "1s"})
+                .stressors[0]
+                .bytes,
+            1_GiB);
+}
+
+TEST(StressArgs, TimeoutSuffixes) {
+  EXPECT_EQ(parse_stress_args({"--vm", "1", "--vm-bytes", "1m", "--timeout",
+                               "90"})
+                .timeout,
+            Duration::seconds(90));
+  EXPECT_EQ(parse_stress_args({"--vm", "1", "--vm-bytes", "1m", "--timeout",
+                               "2h"})
+                .timeout,
+            Duration::hours(2));
+}
+
+TEST(StressArgs, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_stress_args({}), StressArgError);
+  EXPECT_THROW((void)parse_stress_args({"--vm"}), StressArgError);
+  EXPECT_THROW((void)parse_stress_args({"--vm", "0", "--vm-bytes", "1m"}),
+               StressArgError);
+  EXPECT_THROW((void)parse_stress_args({"--vm", "1"}), StressArgError);
+  EXPECT_THROW((void)parse_stress_args({"--vm", "1", "--vm-bytes", "1x",
+                                        "--timeout", "1s"}),
+               StressArgError);
+  EXPECT_THROW((void)parse_stress_args({"--frobnicate", "3"}),
+               StressArgError);
+  EXPECT_THROW((void)parse_stress_args({"--vm", "one", "--vm-bytes", "1m"}),
+               StressArgError);
+  EXPECT_THROW((void)parse_stress_args({"--vm", "1", "--vm-bytes", "1m",
+                                        "--timeout", "5x"}),
+               StressArgError);
+}
+
+class StressRunnerFixture : public ::testing::Test {
+ protected:
+  StressRunnerFixture() : driver_(make_config()), runner_(driver_, perf_) {
+    driver_.set_pod_limit("/pod", Pages{23'936});
+  }
+  static sgx::DriverConfig make_config() {
+    sgx::DriverConfig config;
+    config.enforce_limits = true;
+    return config;
+  }
+  sgx::PerfModel perf_;
+  sgx::Driver driver_;
+  StressRunner runner_;
+};
+
+TEST_F(StressRunnerFixture, VmWorkerProducesOps) {
+  const StressPlan plan = parse_stress_args(
+      {"--vm", "1", "--vm-bytes", "256m", "--timeout", "10s"});
+  const auto reports = runner_.run(plan, 1, "/pod");
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].kind, StressorKind::kVm);
+  EXPECT_GT(reports[0].bogo_ops, 0u);
+  EXPECT_LT(reports[0].startup, Duration::millis(1));
+  EXPECT_GT(reports[0].ops_per_second(), 0.0);
+}
+
+TEST_F(StressRunnerFixture, EpcWorkerAllocatesAndReleases) {
+  const StressPlan plan = parse_stress_args(
+      {"--epc", "1", "--epc-bytes", "16m", "--timeout", "10s"});
+  const auto reports = runner_.run(plan, 1, "/pod");
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_GT(reports[0].bogo_ops, 0u);
+  // Fig. 6 startup: PSW + 16 MiB × 1.6 ms/MiB.
+  EXPECT_GT(reports[0].startup, Duration::millis(100));
+  // Enclave released after the run (RAII).
+  EXPECT_EQ(driver_.free_epc_pages(), driver_.total_epc_pages());
+}
+
+TEST_F(StressRunnerFixture, MultipleWorkersReportIndividually) {
+  const StressPlan plan = parse_stress_args(
+      {"--epc", "3", "--epc-bytes", "4m", "--timeout", "5s"});
+  const auto reports = runner_.run(plan, 1, "/pod");
+  EXPECT_EQ(reports.size(), 3u);
+}
+
+TEST_F(StressRunnerFixture, EpcOverLimitDenied) {
+  sgx::Driver strict{make_config()};
+  strict.set_pod_limit("/pod", Pages{100});
+  StressRunner runner{strict, perf_};
+  const StressPlan plan = parse_stress_args(
+      {"--epc", "1", "--epc-bytes", "16m", "--timeout", "5s"});
+  EXPECT_THROW((void)runner.run(plan, 1, "/pod"), sgx::EnclaveInitDenied);
+}
+
+TEST_F(StressRunnerFixture, PagingCollapsesEpcOpRate) {
+  // First fill the EPC with a squatter enclave, then measure the stressor
+  // under 2× over-commitment: its op rate must collapse by orders of
+  // magnitude (SCONE's 1000×, §V-A).
+  sgx::DriverConfig stock;
+  stock.enforce_limits = false;
+  sgx::Driver driver{stock};
+  StressRunner runner{driver, perf_};
+
+  const StressPlan plan = parse_stress_args(
+      {"--epc", "1", "--epc-bytes", "64m", "--timeout", "30s"});
+  const auto uncontended = runner.run(plan, 1, "/pod-a");
+
+  const sgx::EnclaveId squatter =
+      driver.create_enclave(99, "/squat", Pages{23'936});
+  driver.init_enclave(squatter);
+  const auto contended = runner.run(plan, 2, "/pod-b");
+  driver.destroy_enclave(squatter);
+
+  ASSERT_EQ(uncontended.size(), 1u);
+  ASSERT_EQ(contended.size(), 1u);
+  EXPECT_GT(uncontended[0].ops_per_second(),
+            contended[0].ops_per_second() * 50.0);
+}
+
+TEST_F(StressRunnerFixture, PlanNeedsTimeout) {
+  StressPlan plan;
+  plan.stressors.push_back(StressorSpec{StressorKind::kVm, 1, 1_MiB});
+  EXPECT_THROW((void)runner_.run(plan, 1, "/pod"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgxo::workload

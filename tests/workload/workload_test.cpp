@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "workload/malicious.hpp"
+#include "workload/stressor.hpp"
+
+namespace sgxo::workload {
+namespace {
+
+using namespace sgxo::literals;
+
+trace::TraceJob job(double assigned, double used, bool sgx) {
+  trace::TraceJob j;
+  j.id = 42;
+  j.submission = Duration::seconds(1);
+  j.duration = Duration::seconds(120);
+  j.assigned_memory = assigned;
+  j.max_memory_usage = used;
+  j.sgx = sgx;
+  return j;
+}
+
+TEST(Stressor, PodNameDerivedFromJobId) {
+  EXPECT_EQ(stressor_pod_name(job(0.1, 0.1, false)), "job-42");
+}
+
+TEST(Stressor, StandardJobUsesMemoryResource) {
+  const cluster::PodSpec pod = stressor_pod(job(0.25, 0.125, false), {});
+  EXPECT_FALSE(pod.wants_sgx());
+  EXPECT_EQ(pod.total_requests().memory, 8_GiB);
+  EXPECT_EQ(pod.total_requests().epc_pages, Pages{0});
+  EXPECT_FALSE(pod.behavior.sgx);
+  EXPECT_EQ(pod.behavior.actual_usage, 4_GiB);
+  EXPECT_EQ(pod.behavior.duration, Duration::seconds(120));
+}
+
+TEST(Stressor, SgxJobRequestsEpcPages) {
+  const cluster::PodSpec pod = stressor_pod(job(0.5, 0.25, true), {});
+  EXPECT_TRUE(pod.wants_sgx());
+  EXPECT_EQ(pod.total_requests().memory, 0_B);
+  // 46.75 MiB of EPC → 11 968 pages.
+  EXPECT_EQ(pod.total_requests().epc_pages, Pages{11'968});
+  EXPECT_EQ(pod.total_limits().epc_pages, Pages{11'968});
+  EXPECT_TRUE(pod.behavior.sgx);
+}
+
+TEST(Stressor, TinySgxJobStillRequestsOnePage) {
+  // A zero-page request would not mark the pod as SGX-enabled.
+  const cluster::PodSpec pod = stressor_pod(job(1e-9, 1e-9, true), {});
+  EXPECT_EQ(pod.total_requests().epc_pages, Pages{1});
+  EXPECT_TRUE(pod.wants_sgx());
+}
+
+TEST(Stressor, SchedulerNamePropagates) {
+  const cluster::PodSpec pod =
+      stressor_pod(job(0.1, 0.1, false), {}, "sgx-binpack");
+  EXPECT_EQ(pod.scheduler_name, "sgx-binpack");
+}
+
+TEST(Stressor, UsesStressSgxImage) {
+  const cluster::PodSpec pod = stressor_pod(job(0.1, 0.1, true), {});
+  EXPECT_EQ(pod.containers.at(0).image, "sebvaucher/sgx-base:stress-sgx");
+}
+
+TEST(Malicious, DeclaresOnePageUsesHalfTheEpc) {
+  MaliciousConfig config;
+  const cluster::PodSpec pod = malicious_pod("mal", config);
+  EXPECT_EQ(pod.total_requests().epc_pages, Pages{1});
+  EXPECT_EQ(pod.total_limits().epc_pages, Pages{1});
+  EXPECT_TRUE(pod.behavior.sgx);
+  EXPECT_EQ(pod.behavior.actual_usage, Bytes{mib(93.5).count() / 2});
+}
+
+TEST(Malicious, ConfigurableFractionAndGeometry) {
+  MaliciousConfig config;
+  config.epc_fraction = 0.25;
+  config.epc = sgx::EpcConfig::with_usable(32_MiB);
+  const cluster::PodSpec pod = malicious_pod("mal", config);
+  EXPECT_EQ(pod.behavior.actual_usage, 8_MiB);
+}
+
+TEST(Malicious, FractionValidation) {
+  MaliciousConfig config;
+  config.epc_fraction = 0.0;
+  EXPECT_THROW((void)malicious_pod("m", config), ContractViolation);
+  config.epc_fraction = 1.5;
+  EXPECT_THROW((void)malicious_pod("m", config), ContractViolation);
+}
+
+TEST(Malicious, BatchNaming) {
+  const auto pods = malicious_pods(3, MaliciousConfig{});
+  ASSERT_EQ(pods.size(), 3u);
+  EXPECT_EQ(pods[0].name, "malicious-1");
+  EXPECT_EQ(pods[2].name, "malicious-3");
+  const auto custom = malicious_pods(1, MaliciousConfig{}, "evil");
+  EXPECT_EQ(custom[0].name, "evil-1");
+}
+
+TEST(Malicious, LongLivedByDefault) {
+  const cluster::PodSpec pod = malicious_pod("mal", MaliciousConfig{});
+  // Long enough to squat for an entire replay.
+  EXPECT_GE(pod.behavior.duration, Duration::hours(1));
+}
+
+}  // namespace
+}  // namespace sgxo::workload
