@@ -1,7 +1,6 @@
 #include "core/metrics_view.hpp"
 
 #include "common/error.hpp"
-#include "tsdb/ql/executor.hpp"
 
 namespace sgxo::core {
 
@@ -11,21 +10,31 @@ std::string window_literal(Duration window) {
   return std::to_string(window.micros_count() / 1'000'000) + "s";
 }
 
-std::string inner_query(const std::string& measurement, Duration window) {
+// The Listing-1 statements with the window as a $window parameter, so one
+// prepared AST serves any window bound at execute time.
+std::string inner_text(const std::string& measurement) {
   return "SELECT MAX(value) AS usage FROM \"" + measurement +
-         "\" WHERE value <> 0 AND time >= now() - " + window_literal(window) +
+         "\" WHERE value <> 0 AND time >= now() - $window"
          " GROUP BY pod_name, nodename";
 }
 
-std::string outer_query(const std::string& measurement, Duration window) {
-  return "SELECT SUM(usage) AS usage FROM (" +
-         inner_query(measurement, window) + ") GROUP BY nodename";
+std::string outer_text(const std::string& measurement) {
+  return "SELECT SUM(usage) AS usage FROM (" + inner_text(measurement) +
+         ") GROUP BY nodename";
 }
 
 }  // namespace
 
 ClusterMetrics::ClusterMetrics(const tsdb::Database& db, Duration window)
-    : db_(&db), window_(window) {
+    : db_(&db),
+      window_(window),
+      window_binding_({{"window", window}}),
+      epc_inner_(tsdb::ql::PreparedQuery::prepare(inner_text("sgx/epc"))),
+      epc_outer_(tsdb::ql::PreparedQuery::prepare(outer_text("sgx/epc"))),
+      memory_inner_(
+          tsdb::ql::PreparedQuery::prepare(inner_text("memory/usage"))),
+      memory_outer_(
+          tsdb::ql::PreparedQuery::prepare(outer_text("memory/usage"))) {
   SGXO_CHECK_MSG(window_ >= Duration::seconds(1),
                  "metrics window below 1 s would render as 0s in InfluxQL");
 }
@@ -38,9 +47,8 @@ std::string ClusterMetrics::listing1_query() const {
 }
 
 std::vector<ClusterMetrics::PodUsage> ClusterMetrics::per_pod(
-    const std::string& measurement, TimePoint now) const {
-  const tsdb::ql::ResultSet result =
-      tsdb::ql::query(inner_query(measurement, window_), *db_, now);
+    const tsdb::ql::PreparedQuery& query, TimePoint now) const {
+  const tsdb::ql::ResultSet result = query.execute(*db_, now, window_binding_);
   std::vector<PodUsage> usages;
   usages.reserve(result.rows.size());
   for (const tsdb::ql::Row& row : result.rows) {
@@ -57,9 +65,8 @@ std::vector<ClusterMetrics::PodUsage> ClusterMetrics::per_pod(
 }
 
 std::map<cluster::NodeName, Bytes> ClusterMetrics::per_node(
-    const std::string& measurement, TimePoint now) const {
-  const tsdb::ql::ResultSet result =
-      tsdb::ql::query(outer_query(measurement, window_), *db_, now);
+    const tsdb::ql::PreparedQuery& query, TimePoint now) const {
+  const tsdb::ql::ResultSet result = query.execute(*db_, now, window_binding_);
   std::map<cluster::NodeName, Bytes> usage;
   for (const tsdb::ql::Row& row : result.rows) {
     const auto node_it = row.tags.find("nodename");
@@ -72,22 +79,22 @@ std::map<cluster::NodeName, Bytes> ClusterMetrics::per_node(
 
 std::vector<ClusterMetrics::PodUsage> ClusterMetrics::epc_per_pod(
     TimePoint now) const {
-  return per_pod("sgx/epc", now);
+  return per_pod(epc_inner_, now);
 }
 
 std::map<cluster::NodeName, Bytes> ClusterMetrics::epc_per_node(
     TimePoint now) const {
-  return per_node("sgx/epc", now);
+  return per_node(epc_outer_, now);
 }
 
 std::vector<ClusterMetrics::PodUsage> ClusterMetrics::memory_per_pod(
     TimePoint now) const {
-  return per_pod("memory/usage", now);
+  return per_pod(memory_inner_, now);
 }
 
 std::map<cluster::NodeName, Bytes> ClusterMetrics::memory_per_node(
     TimePoint now) const {
-  return per_node("memory/usage", now);
+  return per_node(memory_outer_, now);
 }
 
 }  // namespace sgxo::core

@@ -3,6 +3,11 @@
 // All reads go through the InfluxQL engine, exactly as the real system
 // queries InfluxDB — including the paper's Listing 1 verbatim for per-node
 // EPC usage. The window (25 s in Listing 1) is configurable.
+//
+// The Listing-1 inner/outer statements are *prepared once* per measurement
+// at construction and re-executed every scheduling cycle with only now()
+// and the $window parameter bound — no string building, lexing or parsing
+// on the scheduler hot path.
 #pragma once
 
 #include <map>
@@ -14,6 +19,7 @@
 #include "common/time.hpp"
 #include "common/units.hpp"
 #include "tsdb/model.hpp"
+#include "tsdb/ql/prepared.hpp"
 
 namespace sgxo::core {
 
@@ -53,13 +59,18 @@ class ClusterMetrics {
   [[nodiscard]] std::string listing1_query() const;
 
  private:
-  [[nodiscard]] std::vector<PodUsage> per_pod(const std::string& measurement,
-                                              TimePoint now) const;
+  [[nodiscard]] std::vector<PodUsage> per_pod(
+      const tsdb::ql::PreparedQuery& query, TimePoint now) const;
   [[nodiscard]] std::map<cluster::NodeName, Bytes> per_node(
-      const std::string& measurement, TimePoint now) const;
+      const tsdb::ql::PreparedQuery& query, TimePoint now) const;
 
   const tsdb::Database* db_;
   Duration window_;
+  tsdb::ql::QueryParams window_binding_;
+  tsdb::ql::PreparedQuery epc_inner_;
+  tsdb::ql::PreparedQuery epc_outer_;
+  tsdb::ql::PreparedQuery memory_inner_;
+  tsdb::ql::PreparedQuery memory_outer_;
 };
 
 }  // namespace sgxo::core

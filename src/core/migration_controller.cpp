@@ -52,13 +52,15 @@ std::optional<MigrationController::Plan> MigrationController::plan_for(
     // departure closes the deficit.
     const orch::ApiServer::NodeEntry* source_entry =
         api_->find_node(source.name);
-    for (const cluster::PodName& victim : api_->assigned_pods(source.name)) {
-      const orch::PodRecord& record = api_->pod(victim);
-      if (record.phase != cluster::PodPhase::kRunning) continue;
-      if (!record.spec.wants_sgx()) continue;
-      if (!record.spec.node_selector.empty()) continue;  // pinned pods stay
+    orch::PodFilter running_here;
+    running_here.phase = cluster::PodPhase::kRunning;
+    running_here.node = source.name;
+    for (const orch::PodRecord* record : api_->list_pods(running_here)) {
+      const cluster::PodName& victim = record->spec.name;
+      if (!record->spec.wants_sgx()) continue;
+      if (!record->spec.node_selector.empty()) continue;  // pinned pods stay
       if (!source_entry->kubelet->pod_migratable(victim)) continue;
-      const Pages victim_pages = record.spec.total_requests().epc_pages;
+      const Pages victim_pages = record->spec.total_requests().epc_pages;
       if (victim_pages < deficit) continue;       // would not free enough
       if (victim_pages >= best_victim_pages) continue;  // bigger than best
 
@@ -85,9 +87,12 @@ std::size_t MigrationController::run_once() {
       orch::request_based_views(*api_);
 
   cluster::PodName blocked_name;
-  for (const cluster::PodName& name :
-       api_->pending_pods(api_->default_scheduler())) {
-    const cluster::PodSpec& spec = api_->pod(name).spec;
+  orch::PodFilter pending;
+  pending.phase = cluster::PodPhase::kPending;
+  pending.scheduler = api_->default_scheduler();
+  for (const orch::PodRecord* record : api_->list_pods(pending)) {
+    const cluster::PodName& name = record->spec.name;
+    const cluster::PodSpec& spec = record->spec;
     if (!spec.wants_sgx()) continue;
     const bool fits_somewhere =
         std::any_of(views.begin(), views.end(),

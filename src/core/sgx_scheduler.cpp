@@ -38,11 +38,12 @@ std::vector<orch::NodeView> SgxAwareScheduler::collect_views() {
   const auto mem_measured = metrics_.memory_per_pod(now);
 
   for (orch::NodeView& view : views) {
-    // Pods the control plane currently assigns to this node.
-    const std::vector<cluster::PodName> assigned =
-        api().assigned_pods(view.name);
-    const std::set<cluster::PodName> assigned_set(assigned.begin(),
-                                                  assigned.end());
+    // Pods the control plane currently assigns to this node (straight from
+    // the pods-by-node index).
+    orch::PodFilter on_node;
+    on_node.node = view.name;
+    const std::vector<const orch::PodRecord*> assigned =
+        api().list_pods(on_node);
 
     // Replace the request-based estimate with measurement-informed usage.
     Bytes memory_used{};
@@ -62,10 +63,11 @@ std::vector<orch::NodeView> SgxAwareScheduler::collect_views() {
 
     // Assigned pods not yet visible in the window contribute their
     // declared requests — "combining the two kinds of data" (§IV).
-    for (const cluster::PodName& pod : assigned) {
-      if (measured_pods.find(pod) != measured_pods.end()) continue;
-      const cluster::ResourceAmounts request =
-          api().pod(pod).spec.total_requests();
+    for (const orch::PodRecord* record : assigned) {
+      if (measured_pods.find(record->spec.name) != measured_pods.end()) {
+        continue;
+      }
+      const cluster::ResourceAmounts request = record->spec.total_requests();
       memory_used += request.memory;
       epc_used += request.epc_pages;
     }
@@ -117,11 +119,12 @@ void SgxAwareScheduler::on_unschedulable(
       cluster::ResourceAmounts request;
     };
     std::vector<Victim> victims;
-    for (const cluster::PodName& name : api().assigned_pods(view.name)) {
-      const orch::PodRecord& record = api().pod(name);
-      if (record.spec.priority >= pod.priority) continue;
-      victims.push_back(Victim{name, record.spec.priority,
-                               record.spec.total_requests()});
+    orch::PodFilter on_node;
+    on_node.node = view.name;
+    for (const orch::PodRecord* record : api().list_pods(on_node)) {
+      if (record->spec.priority >= pod.priority) continue;
+      victims.push_back(Victim{record->spec.name, record->spec.priority,
+                               record->spec.total_requests()});
     }
     std::sort(victims.begin(), victims.end(),
               [](const Victim& a, const Victim& b) {

@@ -151,8 +151,10 @@ ReplayResult run_replay(const ReplayOptions& options) {
       Duration{}, options.pending_sample_period, [&, replay_start] {
         PendingSample sample;
         sample.at = cluster.sim().now() - replay_start;
-        for (const orch::PodRecord* record : cluster.api().all_pods()) {
-          if (record->phase != cluster::PodPhase::kPending) continue;
+        orch::PodFilter pending;
+        pending.phase = cluster::PodPhase::kPending;
+        for (const orch::PodRecord* record :
+             cluster.api().list_pods(pending)) {
           const cluster::ResourceAmounts request =
               record->spec.total_requests();
           sample.epc_requested += request.epc_pages.as_bytes();

@@ -17,6 +17,20 @@ std::optional<Duration> PodRecord::turnaround_time() const {
   return *finished - submitted;
 }
 
+namespace {
+
+bool terminal(cluster::PodPhase phase) {
+  return phase == cluster::PodPhase::kSucceeded ||
+         phase == cluster::PodPhase::kFailed;
+}
+
+bool assigned(cluster::PodPhase phase) {
+  return phase == cluster::PodPhase::kBound ||
+         phase == cluster::PodPhase::kRunning;
+}
+
+}  // namespace
+
 ApiServer::ApiServer(sim::Simulation& sim) : sim_(&sim) {}
 
 void ApiServer::register_node(cluster::Node& node, cluster::Kubelet& kubelet) {
@@ -60,17 +74,58 @@ std::optional<ResourceQuota> ApiServer::quota(
 
 cluster::ResourceAmounts ApiServer::namespace_usage(
     const std::string& namespace_name) const {
-  cluster::ResourceAmounts usage;
-  for (const auto& [name, record] : pods_) {
-    if (record.spec.namespace_name != namespace_name) continue;
-    if (record.phase == cluster::PodPhase::kSucceeded ||
-        record.phase == cluster::PodPhase::kFailed) {
-      continue;
-    }
-    usage = usage + record.spec.total_requests();
-  }
-  return usage;
+  const auto it = usage_by_namespace_.find(namespace_name);
+  return it == usage_by_namespace_.end() ? cluster::ResourceAmounts{}
+                                         : it->second;
 }
+
+// ---- index maintenance ------------------------------------------------------
+
+void ApiServer::pending_insert(const PodRecord& record) {
+  pending_queues_[record.spec.scheduler_name].emplace(
+      QueueKey{record.spec.priority, record.seq}, &record);
+}
+
+void ApiServer::node_insert(const PodRecord& record) {
+  pods_by_node_[record.node].insert(record.spec.name);
+}
+
+void ApiServer::unindex(const PodRecord& record) {
+  if (record.phase == cluster::PodPhase::kPending) {
+    auto it = pending_queues_.find(record.spec.scheduler_name);
+    SGXO_CHECK(it != pending_queues_.end());
+    it->second.erase(QueueKey{record.spec.priority, record.seq});
+    if (it->second.empty()) pending_queues_.erase(it);
+    return;
+  }
+  if (assigned(record.phase)) {
+    auto it = pods_by_node_.find(record.node);
+    SGXO_CHECK(it != pods_by_node_.end());
+    it->second.erase(record.spec.name);
+    if (it->second.empty()) pods_by_node_.erase(it);
+  }
+  // Terminal pods are in no index.
+}
+
+void ApiServer::usage_add(const PodRecord& record) {
+  const cluster::ResourceAmounts request = record.spec.total_requests();
+  cluster::ResourceAmounts& usage =
+      usage_by_namespace_[record.spec.namespace_name];
+  usage.memory += request.memory;
+  usage.epc_pages += request.epc_pages;
+}
+
+void ApiServer::usage_remove(const PodRecord& record) {
+  const cluster::ResourceAmounts request = record.spec.total_requests();
+  const auto it = usage_by_namespace_.find(record.spec.namespace_name);
+  SGXO_CHECK(it != usage_by_namespace_.end());
+  SGXO_CHECK(it->second.memory >= request.memory &&
+             it->second.epc_pages >= request.epc_pages);
+  it->second.memory -= request.memory;
+  it->second.epc_pages -= request.epc_pages;
+}
+
+// ---- pod lifecycle ----------------------------------------------------------
 
 void ApiServer::submit(cluster::PodSpec spec) {
   SGXO_CHECK_MSG(!spec.name.empty(), "pod needs a name");
@@ -78,7 +133,8 @@ void ApiServer::submit(cluster::PodSpec spec) {
                  "pod name already exists: " + spec.name);
 
   // Quota admission: the namespace's non-terminal requests plus this pod
-  // must fit every limited resource.
+  // must fit every limited resource. The usage accumulator makes this
+  // O(log namespaces) instead of a full pod-store scan.
   const auto quota_it = quotas_.find(spec.namespace_name);
   if (quota_it != quotas_.end()) {
     const ResourceQuota& quota = quota_it->second;
@@ -100,32 +156,117 @@ void ApiServer::submit(cluster::PodSpec spec) {
   PodRecord record;
   record.spec = std::move(spec);
   record.submitted = sim_->now();
+  record.seq = next_seq_++;
   const cluster::PodName name = record.spec.name;
-  pods_.emplace(name, std::move(record));
+  const PodRecord& stored =
+      pods_.emplace(name, std::move(record)).first->second;
   submission_order_.push_back(name);
+  pending_insert(stored);
+  usage_add(stored);
   record_event(name, "Submitted");
   notify_watchers(name, cluster::PodPhase::kPending);
 }
 
-std::vector<cluster::PodName> ApiServer::pending_pods(
-    const std::string& scheduler_name) const {
-  std::vector<cluster::PodName> out;
+void ApiServer::append_pending(const std::string& bucket,
+                               std::vector<const PodRecord*>& out) const {
+  const auto it = pending_queues_.find(bucket);
+  if (it == pending_queues_.end()) return;
+  for (const auto& [key, record] : it->second) {
+    out.push_back(record);
+  }
+}
+
+std::vector<const PodRecord*> ApiServer::list_pods(
+    const PodFilter& filter) const {
+  const auto matches = [&](const PodRecord& record) {
+    if (filter.phase.has_value() && record.phase != *filter.phase) {
+      return false;
+    }
+    if (filter.node.has_value() &&
+        (!assigned(record.phase) || record.node != *filter.node)) {
+      return false;
+    }
+    if (filter.namespace_name.has_value() &&
+        record.spec.namespace_name != *filter.namespace_name) {
+      return false;
+    }
+    if (filter.scheduler.has_value()) {
+      const std::string& owner = record.spec.scheduler_name.empty()
+                                     ? default_scheduler_
+                                     : record.spec.scheduler_name;
+      if (owner != *filter.scheduler) return false;
+    }
+    return true;
+  };
+
+  std::vector<const PodRecord*> out;
+
+  // Pending pods come from the queue index, already in priority+FCFS
+  // order. With a scheduler filter that is at most two buckets (the
+  // scheduler's own and, for the cluster default, the unnamed one) merged
+  // by queue position; without one it is every bucket, merged by sort.
+  if (filter.phase == cluster::PodPhase::kPending) {
+    if (filter.scheduler.has_value()) {
+      std::vector<const PodRecord*> named;
+      append_pending(*filter.scheduler, named);
+      std::vector<const PodRecord*> unnamed;
+      if (*filter.scheduler == default_scheduler_) {
+        append_pending("", unnamed);
+      }
+      out.reserve(named.size() + unnamed.size());
+      std::merge(named.begin(), named.end(), unnamed.begin(), unnamed.end(),
+                 std::back_inserter(out),
+                 [](const PodRecord* a, const PodRecord* b) {
+                   return QueueKey{a->spec.priority, a->seq} <
+                          QueueKey{b->spec.priority, b->seq};
+                 });
+    } else {
+      for (const auto& [bucket, queue] : pending_queues_) {
+        (void)bucket;
+        for (const auto& [key, record] : queue) out.push_back(record);
+      }
+      std::sort(out.begin(), out.end(),
+                [](const PodRecord* a, const PodRecord* b) {
+                  return QueueKey{a->spec.priority, a->seq} <
+                         QueueKey{b->spec.priority, b->seq};
+                });
+    }
+    std::erase_if(out, [&](const PodRecord* record) {
+      return !matches(*record);
+    });
+    return out;
+  }
+
+  // Assigned pods come from the node index (pod-name order).
+  if (filter.node.has_value()) {
+    const auto it = pods_by_node_.find(*filter.node);
+    if (it == pods_by_node_.end()) return out;
+    out.reserve(it->second.size());
+    for (const cluster::PodName& name : it->second) {
+      const PodRecord& record = pods_.at(name);
+      if (matches(record)) out.push_back(&record);
+    }
+    return out;
+  }
+
+  // Everything else: submission-order scan.
+  out.reserve(submission_order_.size());
   for (const cluster::PodName& name : submission_order_) {
     const PodRecord& record = pods_.at(name);
-    if (record.phase != cluster::PodPhase::kPending) continue;
-    const std::string& owner = record.spec.scheduler_name.empty()
-                                   ? default_scheduler_
-                                   : record.spec.scheduler_name;
-    if (owner == scheduler_name) out.push_back(name);
+    if (matches(record)) out.push_back(&record);
   }
-  // Priority order, FCFS within a class; stable sort keeps the submission
-  // order produced above for equal priorities.
-  std::stable_sort(out.begin(), out.end(),
-                   [this](const cluster::PodName& a,
-                          const cluster::PodName& b) {
-                     return pods_.at(a).spec.priority >
-                            pods_.at(b).spec.priority;
-                   });
+  return out;
+}
+
+std::vector<cluster::PodName> ApiServer::pending_pods(
+    const std::string& scheduler_name) const {
+  PodFilter filter;
+  filter.phase = cluster::PodPhase::kPending;
+  filter.scheduler = scheduler_name;
+  std::vector<cluster::PodName> out;
+  for (const PodRecord* record : list_pods(filter)) {
+    out.push_back(record->spec.name);
+  }
   return out;
 }
 
@@ -137,9 +278,11 @@ void ApiServer::bind(const cluster::PodName& pod,
   const NodeEntry* entry = find_node(node);
   SGXO_CHECK_MSG(entry != nullptr, "binding to unknown node " + node);
   SGXO_CHECK_MSG(entry->node->schedulable(), "binding to master node");
+  unindex(record);  // leaves the pending queue
   record.phase = cluster::PodPhase::kBound;
   record.bound = sim_->now();
   record.node = node;
+  node_insert(record);
   record_event(pod, "Scheduled to " + node);
   notify_watchers(pod, cluster::PodPhase::kBound);
   entry->kubelet->admit_pod(record.spec);
@@ -148,16 +291,17 @@ void ApiServer::bind(const cluster::PodName& pod,
 void ApiServer::evict(const cluster::PodName& pod,
                       const std::string& reason) {
   PodRecord& record = mutable_pod(pod);
-  SGXO_CHECK_MSG(record.phase == cluster::PodPhase::kBound ||
-                     record.phase == cluster::PodPhase::kRunning,
+  SGXO_CHECK_MSG(assigned(record.phase),
                  "only bound/running pods can be evicted");
   const NodeEntry* entry = find_node(record.node);
   SGXO_CHECK(entry != nullptr);
   entry->kubelet->evict_pod(pod);
+  unindex(record);  // leaves the node index (while record.node is set)
   record.phase = cluster::PodPhase::kPending;
   record.bound.reset();
   record.node.clear();
   ++record.evictions;
+  pending_insert(record);
   record_event(pod, "Evicted: " + reason);
   notify_watchers(pod, cluster::PodPhase::kPending);
 }
@@ -196,19 +340,20 @@ void ApiServer::migrate(const cluster::PodName& pod,
       source->kubelet->extract_for_migration(pod, service);
   const Duration inbound =
       bundle.checkpoint_latency + service.transfer_latency(bundle.checkpoint);
+  unindex(record);  // leaves the source node's index
   record.node = target;
+  node_insert(record);
   record_event(pod, "Migrated " + source->node->name() + " -> " + target);
   destination->kubelet->admit_migrated(std::move(bundle), service, inbound);
 }
 
 std::vector<cluster::PodName> ApiServer::assigned_pods(
     const cluster::NodeName& node) const {
+  PodFilter filter;
+  filter.node = node;
   std::vector<cluster::PodName> out;
-  for (const auto& [name, record] : pods_) {
-    if (record.node == node && (record.phase == cluster::PodPhase::kBound ||
-                                record.phase == cluster::PodPhase::kRunning)) {
-      out.push_back(name);
-    }
+  for (const PodRecord* record : list_pods(filter)) {
+    out.push_back(record->spec.name);
   }
   return out;
 }
@@ -224,13 +369,31 @@ bool ApiServer::has_pod(const cluster::PodName& name) const {
 }
 
 std::vector<const PodRecord*> ApiServer::all_pods() const {
-  std::vector<const PodRecord*> out;
-  out.reserve(submission_order_.size());
-  for (const cluster::PodName& name : submission_order_) {
-    out.push_back(&pods_.at(name));
-  }
-  return out;
+  return list_pods(PodFilter{});
 }
+
+// ---- event log --------------------------------------------------------------
+
+void ApiServer::set_event_retention(std::size_t cap) {
+  event_cap_ = cap;
+  enforce_event_retention();
+}
+
+void ApiServer::enforce_event_retention() {
+  if (event_cap_ == 0) return;
+  while (events_.size() > event_cap_) {
+    events_.pop_front();
+    ++dropped_events_;
+  }
+}
+
+void ApiServer::record_event(const cluster::PodName& pod,
+                             std::string message) {
+  events_.push_back(Event{sim_->now(), pod, std::move(message)});
+  enforce_event_retention();
+}
+
+// ---- watches ----------------------------------------------------------------
 
 ApiServer::WatchId ApiServer::watch_pods(WatchCallback callback) {
   SGXO_CHECK_MSG(static_cast<bool>(callback), "null watch callback");
@@ -240,16 +403,45 @@ ApiServer::WatchId ApiServer::watch_pods(WatchCallback callback) {
 }
 
 void ApiServer::unwatch(WatchId id) {
+  if (notify_depth_ > 0) {
+    // Called re-entrantly from a callback: tombstone instead of erasing so
+    // the in-flight iteration stays valid; swept when delivery unwinds.
+    for (auto& [watch_id, callback] : watches_) {
+      if (watch_id == id) {
+        callback = nullptr;
+        watch_tombstones_ = true;
+        return;
+      }
+    }
+    return;
+  }
   std::erase_if(watches_,
                 [id](const auto& entry) { return entry.first == id; });
 }
 
+std::size_t ApiServer::watch_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(watches_.begin(), watches_.end(), [](const auto& entry) {
+        return static_cast<bool>(entry.second);
+      }));
+}
+
 void ApiServer::notify_watchers(const cluster::PodName& pod,
                                 cluster::PodPhase phase) {
-  // Copy: a callback may add watches (but must not unwatch re-entrantly).
-  const auto snapshot = watches_;
-  for (const auto& [id, callback] : snapshot) {
-    callback(PodUpdate{pod, phase});
+  // Index-bounded iteration over the live vector: callbacks may unwatch
+  // (any watch, including themselves — tombstoned, skipped below) and may
+  // watch_pods (appended past `count`, first notified next transition).
+  ++notify_depth_;
+  const std::size_t count = watches_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!watches_[i].second) continue;  // unwatched mid-delivery
+    watches_[i].second(PodUpdate{pod, phase});
+  }
+  if (--notify_depth_ == 0 && watch_tombstones_) {
+    std::erase_if(watches_, [](const auto& entry) {
+      return !static_cast<bool>(entry.second);
+    });
+    watch_tombstones_ = false;
   }
 }
 
@@ -259,16 +451,13 @@ PodRecord& ApiServer::mutable_pod(const cluster::PodName& name) {
   return it->second;
 }
 
-void ApiServer::record_event(const cluster::PodName& pod,
-                             std::string message) {
-  events_.push_back(Event{sim_->now(), pod, std::move(message)});
-}
+// ---- PodLifecycleListener ---------------------------------------------------
 
 void ApiServer::on_pod_running(const cluster::PodName& pod) {
   PodRecord& record = mutable_pod(pod);
   SGXO_CHECK_MSG(record.phase == cluster::PodPhase::kBound,
                  "pod running without being bound");
-  record.phase = cluster::PodPhase::kRunning;
+  record.phase = cluster::PodPhase::kRunning;  // stays in the node index
   // Keep the first start across evictions: waiting time is the paper's
   // submission → first-actually-running interval.
   if (!record.started.has_value()) {
@@ -282,6 +471,8 @@ void ApiServer::on_pod_succeeded(const cluster::PodName& pod) {
   PodRecord& record = mutable_pod(pod);
   SGXO_CHECK_MSG(record.phase == cluster::PodPhase::kRunning,
                  "pod succeeded without running");
+  unindex(record);
+  usage_remove(record);
   record.phase = cluster::PodPhase::kSucceeded;
   record.finished = sim_->now();
   record_event(pod, "Succeeded");
@@ -291,6 +482,10 @@ void ApiServer::on_pod_succeeded(const cluster::PodName& pod) {
 void ApiServer::on_pod_failed(const cluster::PodName& pod,
                               const std::string& reason) {
   PodRecord& record = mutable_pod(pod);
+  if (!terminal(record.phase)) {
+    unindex(record);
+    usage_remove(record);
+  }
   record.phase = cluster::PodPhase::kFailed;
   record.finished = sim_->now();
   record.failure_reason = reason;

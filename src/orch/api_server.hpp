@@ -5,11 +5,19 @@
 // relays bindings to the target node's Kubelet. Phase-transition
 // timestamps recorded here are the raw material of every evaluation metric
 // (waiting time = submission → running; turnaround = submission → finish).
+//
+// Read path: the store maintains secondary indexes — per-scheduler pending
+// queues in priority+FCFS order, a pods-by-node index, and per-namespace
+// usage accumulators — updated transactionally with every phase
+// transition. pending_pods / assigned_pods / quota admission are therefore
+// O(result), not O(pods): the scheduler hot loop never scans the store.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -25,6 +33,9 @@ struct PodRecord {
   cluster::PodSpec spec;
   cluster::PodPhase phase = cluster::PodPhase::kPending;
   TimePoint submitted;
+  /// Submission sequence number — the FCFS tie-breaker within a priority
+  /// class (and the key of the pending-queue index).
+  std::uint64_t seq = 0;
   std::optional<TimePoint> bound;
   /// First time the pod ran (kept across evictions: waiting time measures
   /// submission → first start).
@@ -41,7 +52,8 @@ struct PodRecord {
   [[nodiscard]] std::optional<Duration> turnaround_time() const;
 };
 
-/// Cluster event log entry (mirrors `kubectl get events`).
+/// Cluster event log entry (mirrors `kubectl get events`). The log is a
+/// bounded ring: the oldest entries are dropped beyond the retention cap.
 struct Event {
   TimePoint time;
   cluster::PodName pod;
@@ -61,8 +73,25 @@ struct ResourceQuota {
   Pages epc_pages{};
 };
 
+/// Selector for ApiServer::list_pods — the single read API behind the
+/// legacy pending_pods/assigned_pods/all_pods trio. Unset fields match
+/// everything; set fields are ANDed.
+struct PodFilter {
+  std::optional<cluster::PodPhase> phase;
+  /// Node the pod is *currently assigned to* (bound or running there).
+  std::optional<cluster::NodeName> node;
+  std::optional<std::string> namespace_name;
+  /// Resolved scheduler owner: a pod with an empty spec.scheduler_name is
+  /// owned by the cluster default scheduler at query time.
+  std::optional<std::string> scheduler;
+};
+
 class ApiServer final : public cluster::PodLifecycleListener {
  public:
+  /// Default events_ retention: bounded, but far above anything a single
+  /// experiment produces (million-pod replays stay at O(cap), not O(pods)).
+  static constexpr std::size_t kDefaultEventRetention = 1'000'000;
+
   explicit ApiServer(sim::Simulation& sim);
 
   // ---- node registry ------------------------------------------------------
@@ -85,7 +114,7 @@ class ApiServer final : public cluster::PodLifecycleListener {
   [[nodiscard]] std::optional<ResourceQuota> quota(
       const std::string& namespace_name) const;
   /// Requests of all non-terminal pods of a namespace (what counts
-  /// against its quota).
+  /// against its quota). O(1): served from the maintained accumulator.
   [[nodiscard]] cluster::ResourceAmounts namespace_usage(
       const std::string& namespace_name) const;
 
@@ -104,10 +133,23 @@ class ApiServer final : public cluster::PodLifecycleListener {
     return default_scheduler_;
   }
 
+  // ---- read path -----------------------------------------------------------
+  /// Pods matching `filter`, served from the secondary indexes where one
+  /// applies (O(result)). Result order is deterministic:
+  ///   * phase == kPending → scheduling-queue order: highest priority
+  ///     first, FCFS (oldest submission) within equal priority;
+  ///   * else, node filter set → pod-name order (the node index);
+  ///   * otherwise → submission order (full-store scan).
+  /// Returned pointers stay valid for the pod's lifetime, but records
+  /// mutate in place on phase transitions — don't hold a snapshot across
+  /// writes and expect the filter to still hold.
+  [[nodiscard]] std::vector<const PodRecord*> list_pods(
+      const PodFilter& filter) const;
+
   /// Pending pods owned by `scheduler_name`: highest priority first,
   /// FCFS (oldest submission) within equal priority — the Kubernetes
   /// scheduling-queue order. With the default priority 0 everywhere this
-  /// is plain FCFS, as in the paper.
+  /// is plain FCFS, as in the paper. Wrapper over list_pods.
   [[nodiscard]] std::vector<cluster::PodName> pending_pods(
       const std::string& scheduler_name) const;
 
@@ -122,6 +164,7 @@ class ApiServer final : public cluster::PodLifecycleListener {
                sgx::MigrationService& service);
 
   /// Pods currently assigned to (bound or running on) `node`.
+  /// Wrapper over list_pods.
   [[nodiscard]] std::vector<cluster::PodName> assigned_pods(
       const cluster::NodeName& node) const;
 
@@ -138,13 +181,26 @@ class ApiServer final : public cluster::PodLifecycleListener {
 
   [[nodiscard]] const PodRecord& pod(const cluster::PodName& name) const;
   [[nodiscard]] bool has_pod(const cluster::PodName& name) const;
+  /// Every pod in submission order. Wrapper over list_pods.
   [[nodiscard]] std::vector<const PodRecord*> all_pods() const;
   [[nodiscard]] std::size_t pod_count() const { return pods_.size(); }
-  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+  // ---- event log -----------------------------------------------------------
+  [[nodiscard]] const std::deque<Event>& events() const { return events_; }
+  /// Caps the in-memory event log; the oldest entries are dropped once the
+  /// cap is exceeded (0 = unlimited). Applies retroactively.
+  void set_event_retention(std::size_t cap);
+  [[nodiscard]] std::size_t event_retention() const { return event_cap_; }
+  /// Events dropped by the retention cap since construction.
+  [[nodiscard]] std::uint64_t dropped_events() const {
+    return dropped_events_;
+  }
 
   // ---- watches (informer-style) --------------------------------------------
   /// Phase-transition notification, fired synchronously after the record
-  /// updated. Callbacks must not unwatch themselves re-entrantly.
+  /// updated. Callbacks may watch_pods() and unwatch() freely, including
+  /// unwatching themselves re-entrantly; watches added during a
+  /// notification first fire on the next transition.
   struct PodUpdate {
     cluster::PodName pod;
     cluster::PodPhase phase;
@@ -156,7 +212,7 @@ class ApiServer final : public cluster::PodLifecycleListener {
   /// Pending). Returns a handle for unwatch().
   WatchId watch_pods(WatchCallback callback);
   void unwatch(WatchId id);
-  [[nodiscard]] std::size_t watch_count() const { return watches_.size(); }
+  [[nodiscard]] std::size_t watch_count() const;
 
   // ---- PodLifecycleListener (called by Kubelets) ---------------------------
   void on_pod_running(const cluster::PodName& pod) override;
@@ -165,10 +221,35 @@ class ApiServer final : public cluster::PodLifecycleListener {
                      const std::string& reason) override;
 
  private:
+  /// Pending-queue position: priority class first (higher wins), then
+  /// submission sequence (older wins) — the Kubernetes scheduling-queue
+  /// order materialized as the index key.
+  struct QueueKey {
+    int priority = 0;
+    std::uint64_t seq = 0;
+    [[nodiscard]] bool operator<(const QueueKey& other) const {
+      if (priority != other.priority) return priority > other.priority;
+      return seq < other.seq;
+    }
+  };
+
   PodRecord& mutable_pod(const cluster::PodName& name);
   void record_event(const cluster::PodName& pod, std::string message);
   void notify_watchers(const cluster::PodName& pod,
                        cluster::PodPhase phase);
+  void enforce_event_retention();
+
+  // ---- index maintenance (one call per phase transition) -------------------
+  /// Removes the record from the index its *current* phase places it in
+  /// (pending queue or node index). Terminal pods are in neither.
+  void unindex(const PodRecord& record);
+  void pending_insert(const PodRecord& record);
+  void node_insert(const PodRecord& record);
+  void usage_add(const PodRecord& record);
+  void usage_remove(const PodRecord& record);
+  /// Appends one pending bucket's records to `out` in queue order.
+  void append_pending(const std::string& bucket,
+                      std::vector<const PodRecord*>& out) const;
 
   sim::Simulation* sim_;
   std::string default_scheduler_ = "default-scheduler";
@@ -176,9 +257,25 @@ class ApiServer final : public cluster::PodLifecycleListener {
   std::vector<NodeEntry> nodes_;
   std::map<cluster::PodName, PodRecord> pods_;
   std::vector<cluster::PodName> submission_order_;
-  std::vector<Event> events_;
+  std::uint64_t next_seq_ = 0;
+
+  // Secondary indexes. Pending queues are bucketed by the *declared*
+  // scheduler name ("" = whatever the cluster default resolves to at query
+  // time, so changing the default never invalidates the index).
+  std::map<std::string, std::map<QueueKey, const PodRecord*>> pending_queues_;
+  std::map<cluster::NodeName, std::set<cluster::PodName>> pods_by_node_;
+  std::map<std::string, cluster::ResourceAmounts> usage_by_namespace_;
+
+  std::deque<Event> events_;
+  std::size_t event_cap_ = kDefaultEventRetention;
+  std::uint64_t dropped_events_ = 0;
+
   std::vector<std::pair<WatchId, WatchCallback>> watches_;
   WatchId next_watch_ = 1;
+  /// Re-entrancy depth of notify_watchers: unwatch() during delivery
+  /// tombstones instead of erasing, so iteration never invalidates.
+  int notify_depth_ = 0;
+  bool watch_tombstones_ = false;
 };
 
 }  // namespace sgxo::orch

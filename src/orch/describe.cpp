@@ -7,7 +7,7 @@ namespace sgxo::orch {
 Table get_pods(const ApiServer& api, TimePoint now) {
   Table table({"NAME", "NAMESPACE", "PHASE", "NODE", "SGX", "EPC REQ",
                "MEM REQ", "AGE"});
-  for (const PodRecord* record : api.all_pods()) {
+  for (const PodRecord* record : api.list_pods(PodFilter{})) {
     const cluster::ResourceAmounts request = record->spec.total_requests();
     table.add_row({
         record->spec.name,
@@ -140,9 +140,11 @@ std::string describe_node(const ApiServer& api,
   }
 
   os << "Pods:\n";
-  for (const cluster::PodName& pod : api.assigned_pods(name)) {
-    const PodRecord& record = api.pod(pod);
-    os << "  " << pod << " (" << to_string(record.phase) << ")\n";
+  PodFilter on_node;
+  on_node.node = name;
+  for (const PodRecord* record : api.list_pods(on_node)) {
+    os << "  " << record->spec.name << " (" << to_string(record->phase)
+       << ")\n";
   }
   return os.str();
 }

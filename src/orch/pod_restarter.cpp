@@ -61,14 +61,13 @@ void PodRestarter::restart(const PodRecord& record) {
 
 std::size_t PodRestarter::run_once() {
   std::size_t resubmitted = 0;
-  // Collect first: submitting while iterating would invalidate all_pods().
-  std::vector<const PodRecord*> to_restart;
-  for (const PodRecord* record : api_->all_pods()) {
+  // list_pods returns a snapshot, so resubmitting inside the loop is safe
+  // (the retries it creates are Pending, not Failed).
+  PodFilter filter;
+  filter.phase = cluster::PodPhase::kFailed;
+  for (const PodRecord* record : api_->list_pods(filter)) {
     if (!restartable(*record)) continue;
     if (handled_.find(record->spec.name) != handled_.end()) continue;
-    to_restart.push_back(record);
-  }
-  for (const PodRecord* record : to_restart) {
     restart(*record);
     ++resubmitted;
   }

@@ -57,9 +57,14 @@ std::size_t Scheduler::run_once() {
 
   // FCFS: older pods get first pick of this cycle's resources; pods that
   // fit nowhere right now stay pending without blocking younger ones
-  // (Kubernetes semantics).
-  for (const cluster::PodName& pod_name : api_->pending_pods(name_)) {
-    const cluster::PodSpec& spec = api_->pod(pod_name).spec;
+  // (Kubernetes semantics). list_pods serves the maintained pending-queue
+  // index in scheduling order — no store scan, no per-pod lookup.
+  PodFilter filter;
+  filter.phase = cluster::PodPhase::kPending;
+  filter.scheduler = name_;
+  for (const PodRecord* record : api_->list_pods(filter)) {
+    const cluster::PodName& pod_name = record->spec.name;
+    const cluster::PodSpec& spec = record->spec;
 
     std::vector<NodeView> feasible;
     feasible.reserve(views.size());

@@ -45,11 +45,17 @@ struct FieldPredicate {
   double literal = 0.0;
 };
 
-/// `time <op> now() [+/- duration]` or `time <op> <micros>`.
+/// `time <op> now() [+/- duration]` or `time <op> <micros>`. The duration
+/// may also be a named parameter (`now() - $window`) bound at execute
+/// time — the prepared-query path the scheduler hot loop uses.
 struct TimePredicate {
   CompareOp op = CompareOp::kGte;
   bool relative_to_now = false;
   std::int64_t offset_us = 0;  // added to now() when relative, else absolute
+  /// Non-empty = the offset is `sign * params[param]` instead of
+  /// offset_us; executing without a binding is a QueryError.
+  std::string param;
+  int param_sign = 1;
 };
 
 using Predicate = std::variant<FieldPredicate, TimePredicate>;

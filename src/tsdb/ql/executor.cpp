@@ -5,7 +5,8 @@
 #include <limits>
 
 #include "common/error.hpp"
-#include "tsdb/ql/parser.hpp"
+#include "tsdb/ql/lexer.hpp"
+#include "tsdb/ql/prepared.hpp"
 
 namespace sgxo::tsdb::ql {
 
@@ -39,7 +40,7 @@ namespace {
 
 /// Materialises the source rows for a statement.
 std::vector<Row> source_rows(const SelectStmt& stmt, const Database& db,
-                             TimePoint now) {
+                             TimePoint now, const QueryParams& params) {
   if (const auto* name = std::get_if<std::string>(&stmt.source)) {
     std::vector<Row> rows;
     const Measurement* measurement = db.find(*name);
@@ -56,19 +57,32 @@ std::vector<Row> source_rows(const SelectStmt& stmt, const Database& db,
     return rows;
   }
   const auto& sub = std::get<std::unique_ptr<SelectStmt>>(stmt.source);
-  return execute(*sub, db, now).rows;
+  return execute(*sub, db, now, params).rows;
 }
 
-bool row_matches(const Row& row, const Predicate& predicate, TimePoint now) {
+/// The effective offset of a time predicate: its literal, or its bound
+/// parameter for prepared statements.
+std::int64_t time_offset_us(const TimePredicate& tp,
+                            const QueryParams& params) {
+  if (tp.param.empty()) return tp.offset_us;
+  const auto it = params.find(tp.param);
+  if (it == params.end()) {
+    throw QueryError{"unbound query parameter '$" + tp.param + "'"};
+  }
+  return tp.param_sign * it->second.micros_count();
+}
+
+bool row_matches(const Row& row, const Predicate& predicate, TimePoint now,
+                 const QueryParams& params) {
   if (const auto* fp = std::get_if<FieldPredicate>(&predicate)) {
     const auto it = row.fields.find(fp->field);
     if (it == row.fields.end()) return false;
     return compare(it->second, fp->op, fp->literal);
   }
   const auto& tp = std::get<TimePredicate>(predicate);
+  const std::int64_t offset_us = time_offset_us(tp, params);
   const std::int64_t bound_us =
-      tp.relative_to_now ? now.micros_since_epoch() + tp.offset_us
-                         : tp.offset_us;
+      tp.relative_to_now ? now.micros_since_epoch() + offset_us : offset_us;
   return compare(static_cast<double>(row.time.micros_since_epoch()), tp.op,
                  static_cast<double>(bound_us));
 }
@@ -129,15 +143,16 @@ class Accumulator {
 
 }  // namespace
 
-ResultSet execute(const SelectStmt& stmt, const Database& db, TimePoint now) {
-  std::vector<Row> rows = source_rows(stmt, db, now);
+ResultSet execute(const SelectStmt& stmt, const Database& db, TimePoint now,
+                  const QueryParams& params) {
+  std::vector<Row> rows = source_rows(stmt, db, now, params);
 
   // WHERE: conjunction of predicates.
   if (!stmt.where.empty()) {
     std::erase_if(rows, [&](const Row& row) {
       return !std::all_of(stmt.where.begin(), stmt.where.end(),
                           [&](const Predicate& p) {
-                            return row_matches(row, p, now);
+                            return row_matches(row, p, now, params);
                           });
     });
   }
@@ -235,7 +250,7 @@ ResultSet execute(const SelectStmt& stmt, const Database& db, TimePoint now) {
 }
 
 ResultSet query(const std::string& text, const Database& db, TimePoint now) {
-  return execute(parse(text), db, now);
+  return PreparedQuery::prepare(text).execute(db, now);
 }
 
 }  // namespace sgxo::tsdb::ql

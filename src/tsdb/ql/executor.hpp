@@ -41,12 +41,19 @@ struct ResultSet {
                                  double fallback = 0.0) const;
 };
 
-/// Runs `stmt` against `db`, with `now` supplying the now() anchor for
-/// relative time predicates (the scheduler passes the virtual clock).
-[[nodiscard]] ResultSet execute(const SelectStmt& stmt, const Database& db,
-                                TimePoint now);
+/// Named duration bindings for `$param` placeholders (`now() - $window`),
+/// bound at execute time by prepared queries.
+using QueryParams = std::map<std::string, Duration>;
 
-/// Convenience: parse + execute.
+/// Runs `stmt` against `db`, with `now` supplying the now() anchor for
+/// relative time predicates (the scheduler passes the virtual clock) and
+/// `params` binding any named duration parameters the statement uses.
+[[nodiscard]] ResultSet execute(const SelectStmt& stmt, const Database& db,
+                                TimePoint now, const QueryParams& params = {});
+
+/// Convenience: parse + execute — a thin wrapper over
+/// PreparedQuery::prepare(text).execute(db, now). Callers on a hot path
+/// should prepare once and execute per cycle instead.
 [[nodiscard]] ResultSet query(const std::string& text, const Database& db,
                               TimePoint now);
 

@@ -11,6 +11,7 @@ const char* to_string(TokenKind kind) {
     case TokenKind::kString: return "string";
     case TokenKind::kNumber: return "number";
     case TokenKind::kDuration: return "duration";
+    case TokenKind::kParam: return "parameter";
     case TokenKind::kLParen: return "'('";
     case TokenKind::kRParen: return "')'";
     case TokenKind::kComma: return "','";
@@ -135,6 +136,17 @@ std::vector<Token> lex(const std::string& query) {
         if (i >= n) fail("unterminated string literal", start);
         ++i;
         push(TokenKind::kString, std::move(text), start);
+        continue;
+      }
+      case '$': {
+        ++i;
+        std::string name;
+        while (i < n && is_ident_char(query[i])) {
+          name += query[i];
+          ++i;
+        }
+        if (name.empty()) fail("expected parameter name after '$'", start);
+        push(TokenKind::kParam, std::move(name), start);
         continue;
       }
       default:

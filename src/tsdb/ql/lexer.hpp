@@ -21,6 +21,7 @@ enum class TokenKind {
   kString,          // 'literal'
   kNumber,          // 0, 25, 3.5
   kDuration,        // 25s, 5m, 100ms, 2h, 10u
+  kParam,           // $window — bound at execute time (prepared queries)
   kLParen,
   kRParen,
   kComma,

@@ -234,8 +234,13 @@ class Parser {
       pred.offset_us = 0;
       if (peek().kind == TokenKind::kMinus || peek().kind == TokenKind::kPlus) {
         const bool negative = advance().kind == TokenKind::kMinus;
-        const Token dur = expect(TokenKind::kDuration);
-        pred.offset_us = negative ? -dur.duration_us : dur.duration_us;
+        if (peek().kind == TokenKind::kParam) {
+          pred.param = advance().text;
+          pred.param_sign = negative ? -1 : 1;
+        } else {
+          const Token dur = expect(TokenKind::kDuration);
+          pred.offset_us = negative ? -dur.duration_us : dur.duration_us;
+        }
       }
       return pred;
     }

@@ -171,6 +171,41 @@ TEST_F(ApiServerFixture, AllPodsInSubmissionOrder) {
   EXPECT_THROW((void)api_.pod("nope"), ContractViolation);
 }
 
+TEST_F(ApiServerFixture, EventRetentionDropsOldestBeyondCap) {
+  api_.set_event_retention(3);
+  EXPECT_EQ(api_.event_retention(), 3u);
+  api_.submit(pod("p1"));  // 1 event
+  api_.submit(pod("p2"));  // 2 events
+  api_.bind("p1", "node-a");
+  api_.bind("p2", "node-a");  // 4 events → oldest dropped
+  EXPECT_EQ(api_.events().size(), 3u);
+  EXPECT_EQ(api_.dropped_events(), 1u);
+  // The survivors are the newest three, still chronological.
+  EXPECT_EQ(api_.events().front().message, "Submitted");
+  EXPECT_EQ(api_.events().front().pod, "p2");
+  EXPECT_EQ(api_.events().back().pod, "p2");
+}
+
+TEST_F(ApiServerFixture, EventRetentionAppliesRetroactively) {
+  api_.submit(pod("p1"));
+  api_.submit(pod("p2"));
+  api_.submit(pod("p3"));
+  ASSERT_EQ(api_.events().size(), 3u);
+  api_.set_event_retention(1);
+  EXPECT_EQ(api_.events().size(), 1u);
+  EXPECT_EQ(api_.dropped_events(), 2u);
+  EXPECT_EQ(api_.events().front().pod, "p3");
+}
+
+TEST_F(ApiServerFixture, ZeroRetentionMeansUnlimited) {
+  api_.set_event_retention(0);
+  for (int i = 0; i < 50; ++i) {
+    api_.submit(pod("p" + std::to_string(i)));
+  }
+  EXPECT_EQ(api_.events().size(), 50u);
+  EXPECT_EQ(api_.dropped_events(), 0u);
+}
+
 TEST_F(ApiServerFixture, FailureRecordsReason) {
   api_.submit(pod("p1"));
   api_.bind("p1", "node-a");

@@ -87,6 +87,79 @@ TEST_F(WatchFixture, EvictionNotifiesPendingAgain) {
   EXPECT_EQ(phases.back(), cluster::PodPhase::kPending);
 }
 
+TEST_F(WatchFixture, CallbackMayUnwatchItself) {
+  int updates = 0;
+  ApiServer::WatchId id = 0;
+  id = cluster_.api().watch_pods([&](const ApiServer::PodUpdate&) {
+    ++updates;
+    cluster_.api().unwatch(id);  // one-shot watch, removed re-entrantly
+  });
+  cluster_.api().submit(pod("p1"));
+  cluster_.api().submit(pod("p2"));
+  EXPECT_EQ(updates, 1);
+  EXPECT_EQ(cluster_.api().watch_count(), 0u);
+}
+
+TEST_F(WatchFixture, CallbackMayUnwatchALaterWatcher) {
+  // The first callback removes the second mid-delivery: the second must
+  // not fire for the transition being delivered.
+  int second_updates = 0;
+  ApiServer::WatchId second = 0;
+  (void)cluster_.api().watch_pods([&](const ApiServer::PodUpdate&) {
+    if (second != 0) {
+      cluster_.api().unwatch(second);
+      second = 0;
+    }
+  });
+  second = cluster_.api().watch_pods(
+      [&](const ApiServer::PodUpdate&) { ++second_updates; });
+  cluster_.api().submit(pod("p1"));
+  EXPECT_EQ(second_updates, 0);
+  EXPECT_EQ(cluster_.api().watch_count(), 1u);
+}
+
+TEST_F(WatchFixture, CallbackMayAddWatches) {
+  // A watch added during delivery first fires on the *next* transition.
+  int late_updates = 0;
+  bool added = false;
+  (void)cluster_.api().watch_pods([&](const ApiServer::PodUpdate&) {
+    if (added) return;
+    added = true;
+    (void)cluster_.api().watch_pods(
+        [&](const ApiServer::PodUpdate&) { ++late_updates; });
+  });
+  cluster_.api().submit(pod("p1"));
+  EXPECT_EQ(late_updates, 0);
+  cluster_.api().submit(pod("p2"));
+  EXPECT_EQ(late_updates, 1);
+}
+
+TEST_F(WatchFixture, ReentrantUnwatchDuringNestedNotification) {
+  // A callback that triggers another phase transition (nested delivery)
+  // and an unwatch inside that nested delivery: the tombstone sweep must
+  // only run after the outermost delivery unwinds.
+  std::vector<std::string> log;
+  ApiServer::WatchId inner = 0;
+  (void)cluster_.api().watch_pods([&](const ApiServer::PodUpdate& update) {
+    log.push_back("outer:" + update.pod);
+    if (update.pod == "p1" && update.phase == cluster::PodPhase::kPending) {
+      cluster_.api().submit(pod("p2"));  // nested notify_watchers
+    }
+  });
+  inner = cluster_.api().watch_pods([&](const ApiServer::PodUpdate& update) {
+    log.push_back("inner:" + update.pod);
+    cluster_.api().unwatch(inner);
+  });
+  cluster_.api().submit(pod("p1"));
+  // Outer sees p1, submits p2 (nested: outer + inner see p2), then inner's
+  // slot for p1 was tombstoned inside the nested delivery and is skipped.
+  EXPECT_EQ(log, (std::vector<std::string>{"outer:p1", "outer:p2",
+                                           "inner:p2"}));
+  EXPECT_EQ(cluster_.api().watch_count(), 1u);
+  cluster_.api().submit(pod("p3"));
+  EXPECT_EQ(log.back(), "outer:p3");
+}
+
 TEST_F(WatchFixture, WatchDrivenRestarterReactsToNodeFailure) {
   PodRestarter restarter{cluster_.sim(), cluster_.api(),
                          Duration::seconds(10), PodRestarter::Mode::kWatch};

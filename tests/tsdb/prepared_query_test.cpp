@@ -1,0 +1,216 @@
+// PreparedQuery is specified to produce the same results as the one-shot
+// string path (ql::query is a wrapper over prepare + execute). The
+// differential suite below re-runs every query exercised by
+// executor_test.cpp through both paths and compares row-for-row; the
+// remaining tests cover what only prepared statements can do: $param
+// placeholders bound at execute time.
+#include "tsdb/ql/prepared.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tsdb/ql/executor.hpp"
+#include "tsdb/ql/lexer.hpp"
+
+namespace sgxo::tsdb::ql {
+namespace {
+
+TimePoint at(std::int64_t seconds) {
+  return TimePoint::epoch() + Duration::seconds(seconds);
+}
+
+void expect_same_results(const ResultSet& expected, const ResultSet& actual,
+                         const std::string& text) {
+  ASSERT_EQ(expected.rows.size(), actual.rows.size()) << text;
+  for (std::size_t i = 0; i < expected.rows.size(); ++i) {
+    const Row& want = expected.rows[i];
+    const Row& got = actual.rows[i];
+    EXPECT_EQ(want.tags, got.tags) << text << " row " << i;
+    EXPECT_EQ(want.time.micros_since_epoch(), got.time.micros_since_epoch())
+        << text << " row " << i;
+    ASSERT_EQ(want.fields.size(), got.fields.size()) << text << " row " << i;
+    for (const auto& [field, value] : want.fields) {
+      ASSERT_TRUE(got.has_field(field)) << text << " row " << i;
+      EXPECT_DOUBLE_EQ(value, got.field(field))
+          << text << " row " << i << " field " << field;
+    }
+  }
+}
+
+class PreparedQueryFixture : public ::testing::Test {
+ protected:
+  // The executor_test.cpp dataset: two pods on n1, one on n2, 10 s
+  // samples, plus a stale "dead" pod and a zero "idle" sample.
+  void SetUp() override {
+    for (int t = 0; t <= 60; t += 10) {
+      db_.write("sgx/epc", {{"pod_name", "p1"}, {"nodename", "n1"}}, at(t),
+                100.0 + t);
+      db_.write("sgx/epc", {{"pod_name", "p2"}, {"nodename", "n1"}}, at(t),
+                50.0);
+      db_.write("sgx/epc", {{"pod_name", "p3"}, {"nodename", "n2"}}, at(t),
+                10.0);
+    }
+    db_.write("sgx/epc", {{"pod_name", "dead"}, {"nodename", "n2"}}, at(5),
+              999.0);
+    db_.write("sgx/epc", {{"pod_name", "idle"}, {"nodename", "n2"}}, at(60),
+              0.0);
+    db_.write("untagged", {}, at(60), 5.0);
+    db_.write("untagged", {{"zone", "a"}}, at(60), 7.0);
+    db_.write("m", {}, TimePoint::from_micros(1000), 1.0);
+    db_.write("m", {}, TimePoint::from_micros(2000), 2.0);
+    db_.write("sub", {{"k", "v"}}, TimePoint::from_micros(1), 1.0);
+  }
+  Database db_;
+};
+
+// Every query text executor_test.cpp runs through the string path.
+const char* const kExecutorTestQueries[] = {
+    "SELECT MAX(value) AS epc FROM \"sgx/epc\" WHERE value <> 0 AND "
+    "time >= now() - 25s GROUP BY pod_name, nodename",
+
+    "SELECT SUM(epc) AS epc FROM "
+    "(SELECT MAX(value) AS epc FROM \"sgx/epc\" "
+    "WHERE value <> 0 AND time >= now() - 25s "
+    "GROUP BY pod_name, nodename) "
+    "GROUP BY nodename",
+
+    "SELECT SUM(epc) AS epc FROM "
+    "(SELECT MAX(value) AS epc FROM \"sgx/epc\" "
+    "WHERE value <> 0 AND time >= now() - 60s "
+    "GROUP BY pod_name, nodename) GROUP BY nodename",
+
+    "SELECT MAX(value) FROM nothing",
+
+    "SELECT COUNT(value) AS n FROM \"sgx/epc\" WHERE time >= now() - 25s "
+    "GROUP BY nodename",
+
+    "SELECT MEAN(value) AS avg, MIN(value) AS lo FROM \"sgx/epc\" "
+    "WHERE value <> 0 AND time >= now() - 1h GROUP BY pod_name",
+
+    "SELECT FIRST(value) AS f, LAST(value) AS l FROM \"sgx/epc\" "
+    "WHERE value <> 0 GROUP BY pod_name",
+
+    "SELECT SUM(value) AS total FROM \"sgx/epc\" WHERE time >= now() - 25s "
+    "AND value <> 0",
+
+    "SELECT SUM(value) AS s FROM untagged GROUP BY zone",
+
+    "SELECT MAX(value) FROM \"sgx/epc\" WHERE value > 100000",
+
+    "SELECT COUNT(value) AS n FROM m WHERE time >= 2000",
+
+    "SELECT COUNT(value) AS n FROM m WHERE time > 2000",
+
+    "SELECT SUM(nonexistent) AS s FROM (SELECT MAX(value) AS epc FROM sub)",
+};
+
+TEST_F(PreparedQueryFixture, DifferentialAgainstStringPath) {
+  for (const char* text : kExecutorTestQueries) {
+    const ResultSet via_string = query(text, db_, at(60));
+    const PreparedQuery prepared = PreparedQuery::prepare(text);
+    EXPECT_TRUE(prepared.parameters().empty()) << text;
+    const ResultSet via_prepared = prepared.execute(db_, at(60));
+    expect_same_results(via_string, via_prepared, text);
+  }
+}
+
+TEST_F(PreparedQueryFixture, DifferentialAtMultipleNowAnchors) {
+  // now() binding happens at execute time: one prepared statement, many
+  // anchors, each equal to a fresh string-path run.
+  const PreparedQuery prepared = PreparedQuery::prepare(
+      "SELECT SUM(epc) AS epc FROM "
+      "(SELECT MAX(value) AS epc FROM \"sgx/epc\" "
+      "WHERE value <> 0 AND time >= now() - 25s "
+      "GROUP BY pod_name, nodename) GROUP BY nodename");
+  for (const std::int64_t second : {0, 10, 30, 60, 120}) {
+    const ResultSet via_string = query(prepared.text(), db_, at(second));
+    const ResultSet via_prepared = prepared.execute(db_, at(second));
+    expect_same_results(via_string, via_prepared,
+                        "now=" + std::to_string(second));
+  }
+}
+
+TEST_F(PreparedQueryFixture, WindowParameterMatchesLiteralWindow) {
+  const PreparedQuery prepared = PreparedQuery::prepare(
+      "SELECT SUM(epc) AS epc FROM "
+      "(SELECT MAX(value) AS epc FROM \"sgx/epc\" "
+      "WHERE value <> 0 AND time >= now() - $window "
+      "GROUP BY pod_name, nodename) GROUP BY nodename");
+  ASSERT_EQ(prepared.parameters(), std::vector<std::string>{"window"});
+
+  // One AST, two windows: each equals the literal-window string query.
+  for (const std::int64_t window : {25, 60}) {
+    const ResultSet literal = query(
+        "SELECT SUM(epc) AS epc FROM "
+        "(SELECT MAX(value) AS epc FROM \"sgx/epc\" "
+        "WHERE value <> 0 AND time >= now() - " +
+            std::to_string(window) +
+            "s GROUP BY pod_name, nodename) GROUP BY nodename",
+        db_, at(60));
+    const ResultSet bound = prepared.execute(
+        db_, at(60), {{"window", Duration::seconds(window)}});
+    expect_same_results(literal, bound, "window=" + std::to_string(window));
+  }
+}
+
+TEST_F(PreparedQueryFixture, UnboundParameterIsAnError) {
+  const PreparedQuery prepared = PreparedQuery::prepare(
+      "SELECT MAX(value) FROM \"sgx/epc\" WHERE time >= now() - $window");
+  EXPECT_THROW((void)prepared.execute(db_, at(60)), QueryError);
+  EXPECT_THROW(
+      (void)prepared.execute(db_, at(60), {{"wrong", Duration::seconds(1)}}),
+      QueryError);
+}
+
+TEST_F(PreparedQueryFixture, ExtraBindingsAreIgnored) {
+  const PreparedQuery prepared = PreparedQuery::prepare(
+      "SELECT COUNT(value) AS n FROM \"sgx/epc\" WHERE time >= now() - "
+      "$window");
+  const ResultSet result = prepared.execute(
+      db_, at(60),
+      {{"window", Duration::seconds(25)}, {"unused", Duration::hours(1)}});
+  ASSERT_EQ(result.rows.size(), 1u);
+  // Window [35, 60]: 3 series × 3 samples + the zero sample = 10.
+  EXPECT_DOUBLE_EQ(result.rows[0].field("n"), 10.0);
+}
+
+TEST_F(PreparedQueryFixture, ParameterInAdditivePosition) {
+  // now() + $p (future bound) parses and binds with the positive sign.
+  const PreparedQuery prepared = PreparedQuery::prepare(
+      "SELECT COUNT(value) AS n FROM m WHERE time <= now() + $slack");
+  const ResultSet result =
+      prepared.execute(db_, TimePoint::from_micros(500),
+                       {{"slack", Duration::micros(500)}});
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.rows[0].field("n"), 1.0);
+}
+
+TEST(PreparedQuery, MalformedTextFailsAtPrepareTime) {
+  EXPECT_THROW((void)PreparedQuery::prepare("SELECT"), QueryError);
+  EXPECT_THROW((void)PreparedQuery::prepare("SELECT MAX(value) FROM"),
+               QueryError);
+  // A bare '$' names no parameter.
+  EXPECT_THROW((void)PreparedQuery::prepare(
+                   "SELECT MAX(value) FROM m WHERE time >= now() - $"),
+               QueryError);
+}
+
+TEST(PreparedQuery, SubqueryParametersAreCollected) {
+  const PreparedQuery prepared = PreparedQuery::prepare(
+      "SELECT SUM(epc) AS epc FROM "
+      "(SELECT MAX(value) AS epc FROM m WHERE time >= now() - $inner) "
+      "GROUP BY nodename");
+  ASSERT_EQ(prepared.parameters(), std::vector<std::string>{"inner"});
+}
+
+TEST(PreparedQuery, TextIsPreservedVerbatim) {
+  const std::string text =
+      "SELECT MAX(value) FROM m WHERE time >= now() - $window";
+  const PreparedQuery prepared = PreparedQuery::prepare(text);
+  EXPECT_EQ(prepared.text(), text);
+}
+
+}  // namespace
+}  // namespace sgxo::tsdb::ql
