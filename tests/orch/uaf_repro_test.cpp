@@ -1,0 +1,34 @@
+// Repro: a watch callback that registers a new watch (reallocating the
+// watches_ vector) and then touches its own captured state.
+#include <gtest/gtest.h>
+
+#include "exp/fixture.hpp"
+
+namespace sgxo::orch {
+namespace {
+
+using namespace sgxo::literals;
+
+cluster::PodSpec pod(const std::string& name) {
+  cluster::PodBehavior behavior;
+  behavior.actual_usage = 1_GiB;
+  behavior.duration = Duration::seconds(20);
+  return cluster::make_stressor_pod(name, {1_GiB, Pages{0}},
+                                    {1_GiB, Pages{0}}, behavior);
+}
+
+TEST(WatchUaf, AddWatchThenTouchCapture) {
+  exp::SimulatedCluster cluster;
+  int count = 0;
+  int* counter = &count;  // single-pointer capture: fits SBO in-situ
+  (void)cluster.api().watch_pods([counter, &cluster](const ApiServer::PodUpdate&) {
+    if (*counter > 0) return;
+    cluster.api().watch_pods([](const ApiServer::PodUpdate&) {});
+    ++*counter;  // capture read AFTER the vector may have reallocated
+  });
+  cluster.api().submit(pod("p1"));
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace sgxo::orch
