@@ -44,6 +44,8 @@ class ImageCache {
   }
   void store(const std::string& image) { cached_.insert(image); }
   [[nodiscard]] std::size_t size() const { return cached_.size(); }
+  /// Drops every cached image (node reboot with a fresh disk).
+  void clear() { cached_.clear(); }
 
  private:
   std::set<std::string> cached_;

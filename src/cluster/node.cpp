@@ -22,6 +22,11 @@ Node::Node(MachineSpec spec, bool enforce_epc_limits)
       plugin_(driver_.get()),
       allocator_(plugin_.advertised_pages()) {}
 
+void Node::reboot() {
+  cache_.clear();
+  ready_ = true;
+}
+
 Bytes Node::memory_used() const {
   Bytes total{};
   for (const PodName& pod : runtime_.running_pods()) {

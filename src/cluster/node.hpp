@@ -27,6 +27,10 @@ class Node {
   /// receiving pods until recovered.
   [[nodiscard]] bool ready() const { return ready_; }
   void set_ready(bool ready) { ready_ = ready; }
+  /// Brings a crashed node back with the local state a real reboot
+  /// leaves behind: ready again, image cache cold. The kubelet's pod
+  /// state was already wiped when the node failed.
+  void reboot();
   [[nodiscard]] bool schedulable() const { return !spec_.is_master && ready_; }
 
   /// The isgx driver; null on machines without SGX.

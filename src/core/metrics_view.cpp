@@ -77,6 +77,16 @@ std::map<cluster::NodeName, Bytes> ClusterMetrics::per_node(
   return usage;
 }
 
+std::optional<Duration> ClusterMetrics::staleness(TimePoint now) const {
+  std::optional<TimePoint> newest;
+  for (const char* measurement : {"sgx/epc", "memory/usage"}) {
+    const std::optional<TimePoint> t = db_->newest_time(measurement);
+    if (t.has_value() && (!newest.has_value() || *t > *newest)) newest = t;
+  }
+  if (!newest.has_value()) return std::nullopt;
+  return *newest >= now ? Duration{} : now - *newest;
+}
+
 std::vector<ClusterMetrics::PodUsage> ClusterMetrics::epc_per_pod(
     TimePoint now) const {
   return per_pod(epc_inner_, now);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,12 @@ class ClusterMetrics {
 
   /// The exact Listing-1 text executed by epc_per_node (for inspection).
   [[nodiscard]] std::string listing1_query() const;
+
+  /// Age of the newest visible sample across both monitored measurements
+  /// (EPC + standard memory); nullopt while the pipeline has produced no
+  /// sample at all. The scheduler compares this against its staleness
+  /// threshold to decide when to stop trusting measurements.
+  [[nodiscard]] std::optional<Duration> staleness(TimePoint now) const;
 
  private:
   [[nodiscard]] std::vector<PodUsage> per_pod(

@@ -34,6 +34,20 @@ std::vector<orch::NodeView> SgxAwareScheduler::collect_views() {
   std::vector<orch::NodeView> views = orch::request_based_views(api());
 
   const TimePoint now = sim().now();
+
+  // Graceful degradation: a metrics pipeline that has stopped producing
+  // samples (probe outage, TSDB write failures, stale replica) must not
+  // be trusted — a window full of dead pods' last samples, with every
+  // live pod missing, both over- and under-estimates. Past the staleness
+  // threshold this cycle schedules on declared requests alone, exactly
+  // like the Kubernetes default scheduler (the safe baseline).
+  if (config_.stale_metrics_threshold > Duration{}) {
+    const std::optional<Duration> age = metrics_.staleness(now);
+    if (age.has_value() && *age > config_.stale_metrics_threshold) {
+      ++degraded_cycles_;
+      return views;
+    }
+  }
   const auto epc_measured = metrics_.epc_per_pod(now);
   const auto mem_measured = metrics_.memory_per_pod(now);
 

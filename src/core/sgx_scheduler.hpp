@@ -43,6 +43,13 @@ struct SgxSchedulerConfig {
   /// strictly-lower-priority pods from one node. Off by default — the
   /// paper's scheduler is non-preemptive.
   bool enable_preemption = false;
+  /// Graceful degradation: when the newest metrics sample is older than
+  /// this, the cycle falls back from measured usage to the declared
+  /// requests (the default scheduler's view) instead of trusting a dead
+  /// metrics pipeline. With a healthy 10 s probe period staleness stays
+  /// under one period, so the default only trips on real outages.
+  /// Zero disables the fallback (always trust the window).
+  Duration stale_metrics_threshold = Duration::seconds(60);
 };
 
 class SgxAwareScheduler final : public orch::Scheduler {
@@ -53,6 +60,11 @@ class SgxAwareScheduler final : public orch::Scheduler {
   [[nodiscard]] PlacementPolicy policy() const { return config_.policy; }
   [[nodiscard]] const ClusterMetrics& metrics() const { return metrics_; }
   [[nodiscard]] std::uint64_t preemptions() const { return preemptions_; }
+  /// Cycles that ran on declared requests because the metrics window was
+  /// stale past the configured threshold.
+  [[nodiscard]] std::uint64_t degraded_cycles() const {
+    return degraded_cycles_;
+  }
 
   [[nodiscard]] static std::string default_name(PlacementPolicy policy);
 
@@ -74,6 +86,7 @@ class SgxAwareScheduler final : public orch::Scheduler {
   SgxSchedulerConfig config_;
   ClusterMetrics metrics_;
   std::uint64_t preemptions_ = 0;
+  std::uint64_t degraded_cycles_ = 0;
 };
 
 }  // namespace sgxo::core

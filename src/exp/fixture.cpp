@@ -53,6 +53,15 @@ cluster::Node* SimulatedCluster::find_node(const cluster::NodeName& name) {
   return nullptr;
 }
 
+std::vector<cluster::Kubelet*> SimulatedCluster::kubelets() {
+  std::vector<cluster::Kubelet*> out;
+  out.reserve(kubelets_.size());
+  for (const auto& kubelet : kubelets_) {
+    out.push_back(kubelet.get());
+  }
+  return out;
+}
+
 std::size_t SimulatedCluster::sgx_node_count() const {
   return static_cast<std::size_t>(
       std::count_if(nodes_.begin(), nodes_.end(),
@@ -92,6 +101,76 @@ orch::DefaultScheduler& SimulatedCluster::add_default_scheduler() {
   orch::DefaultScheduler& ref = *scheduler;
   schedulers_.push_back(std::move(scheduler));
   return ref;
+}
+
+void SimulatedCluster::install_fault_handlers(sim::FaultInjector& injector,
+                                              orch::PodRestarter* restarter) {
+  using sim::FaultKind;
+  using sim::FaultSpec;
+
+  // Node crash / reboot. Guarded on the node's current readiness so a
+  // test driving fail_node directly alongside the injector cannot
+  // double-fail (the injector already refcounts same-target overlaps).
+  injector.on_inject(FaultKind::kNodeCrash, [this](const FaultSpec& spec) {
+    cluster::Node* node = find_node(spec.target);
+    if (node != nullptr && node->ready()) api_->fail_node(spec.target);
+  });
+  injector.on_heal(FaultKind::kNodeCrash, [this](const FaultSpec& spec) {
+    cluster::Node* node = find_node(spec.target);
+    if (node != nullptr && !node->ready()) api_->recover_node(spec.target);
+  });
+
+  // SGX-probe dropout ("" targets every probe); redeployed probes inherit
+  // the active fault state from the DaemonSet.
+  injector.on_inject(FaultKind::kProbeDropout, [this](const FaultSpec& spec) {
+    daemonset_->set_drop_samples(spec.target, true);
+  });
+  injector.on_heal(FaultKind::kProbeDropout, [this](const FaultSpec& spec) {
+    daemonset_->set_drop_samples(spec.target, false);
+  });
+
+  // Heapster dropout is cluster-wide (one central scraper).
+  injector.on_inject(FaultKind::kHeapsterDropout, [this](const FaultSpec&) {
+    heapster_->set_drop_samples(true);
+  });
+  injector.on_heal(FaultKind::kHeapsterDropout, [this](const FaultSpec&) {
+    heapster_->set_drop_samples(false);
+  });
+
+  // Sample delay hits the whole pipeline: probes on the targeted node
+  // ("" = all) plus Heapster.
+  injector.on_inject(FaultKind::kSampleDelay, [this](const FaultSpec& spec) {
+    daemonset_->set_sample_delay(spec.target, spec.delay);
+    heapster_->set_sample_delay(spec.delay);
+  });
+  injector.on_heal(FaultKind::kSampleDelay, [this](const FaultSpec& spec) {
+    daemonset_->set_sample_delay(spec.target, Duration{});
+    heapster_->set_sample_delay(Duration{});
+  });
+
+  injector.on_inject(FaultKind::kTsdbWriteError, [this](const FaultSpec&) {
+    db_.set_write_fault(true);
+  });
+  injector.on_heal(FaultKind::kTsdbWriteError, [this](const FaultSpec&) {
+    db_.set_write_fault(false);
+  });
+
+  // Stale reads: queries see nothing newer than the activation instant.
+  injector.on_inject(FaultKind::kTsdbStaleReads, [this](const FaultSpec&) {
+    db_.set_read_horizon(sim_.now());
+  });
+  injector.on_heal(FaultKind::kTsdbStaleReads, [this](const FaultSpec&) {
+    db_.set_read_horizon(std::nullopt);
+  });
+
+  if (restarter != nullptr) {
+    injector.on_inject(FaultKind::kWatchDisconnect,
+                       [restarter](const FaultSpec&) {
+                         restarter->disconnect();
+                       });
+    injector.on_heal(FaultKind::kWatchDisconnect,
+                     [restarter](const FaultSpec&) { restarter->resync(); });
+  }
 }
 
 void SimulatedCluster::start_monitoring() {

@@ -17,7 +17,9 @@
 #include "orch/daemonset.hpp"
 #include "orch/default_scheduler.hpp"
 #include "orch/heapster.hpp"
+#include "orch/pod_restarter.hpp"
 #include "sgx/perf_model.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulation.hpp"
 #include "tsdb/model.hpp"
 
@@ -56,6 +58,17 @@ class SimulatedCluster {
   [[nodiscard]] std::vector<cluster::Node*> nodes();
   [[nodiscard]] cluster::Node* find_node(const cluster::NodeName& name);
   [[nodiscard]] std::size_t sgx_node_count() const;
+  [[nodiscard]] std::vector<cluster::Kubelet*> kubelets();
+  [[nodiscard]] orch::Heapster& heapster() { return *heapster_; }
+  [[nodiscard]] orch::ProbeDaemonSet& daemonset() { return *daemonset_; }
+
+  /// Registers the standard effect handlers for every FaultKind on the
+  /// injector: node crash/reboot through the API server, probe/Heapster
+  /// dropouts and delays on the monitoring pipeline, TSDB write errors
+  /// and stale-read windows on the database, and — when a restarter is
+  /// given — watch-channel disconnect/re-sync on it.
+  void install_fault_handlers(sim::FaultInjector& injector,
+                              orch::PodRestarter* restarter = nullptr);
 
   /// Creates and starts an SGX-aware scheduler with the given policy.
   core::SgxAwareScheduler& add_sgx_scheduler(core::PlacementPolicy policy,

@@ -316,7 +316,8 @@ void ApiServer::fail_node(const cluster::NodeName& node) {
 void ApiServer::recover_node(const cluster::NodeName& node) {
   const NodeEntry* entry = find_node(node);
   SGXO_CHECK_MSG(entry != nullptr, "recovering unknown node " + node);
-  entry->node->set_ready(true);
+  // A recovered machine rebooted: ready again, image cache cold.
+  entry->node->reboot();
 }
 
 void ApiServer::migrate(const cluster::PodName& pod,
@@ -431,11 +432,14 @@ void ApiServer::notify_watchers(const cluster::PodName& pod,
   // Index-bounded iteration over the live vector: callbacks may unwatch
   // (any watch, including themselves — tombstoned, skipped below) and may
   // watch_pods (appended past `count`, first notified next transition).
+  // Invoke a copy: watch_pods can reallocate `watches_` mid-delivery,
+  // which would free the storage of the callback being executed.
   ++notify_depth_;
   const std::size_t count = watches_.size();
   for (std::size_t i = 0; i < count; ++i) {
     if (!watches_[i].second) continue;  // unwatched mid-delivery
-    watches_[i].second(PodUpdate{pod, phase});
+    const WatchCallback callback = watches_[i].second;
+    callback(PodUpdate{pod, phase});
   }
   if (--notify_depth_ == 0 && watch_tombstones_) {
     std::erase_if(watches_, [](const auto& entry) {

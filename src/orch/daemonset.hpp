@@ -36,10 +36,28 @@ class ProbeDaemonSet {
   [[nodiscard]] bool has_probe(const cluster::NodeName& node) const {
     return probes_.find(node) != probes_.end();
   }
+  /// The live probe on `node` (nullptr when none is deployed).
+  [[nodiscard]] SgxProbe* probe(const cluster::NodeName& node);
   /// Simulates a probe crash; the next reconcile redeploys it.
   void crash_probe(const cluster::NodeName& node);
 
+  // ---- fault injection -----------------------------------------------------
+  /// Dropout / delay knobs for the probe on `node` ("" = every probe).
+  /// The state is remembered per node, so a probe redeployed while a
+  /// fault is active comes up faulted too (the fault is in the network /
+  /// node, not the probe process).
+  void set_drop_samples(const cluster::NodeName& node, bool drop);
+  void set_sample_delay(const cluster::NodeName& node, Duration delay);
+
  private:
+  struct FaultState {
+    bool drop = false;
+    Duration delay{};
+  };
+  /// The fault state applying to `node` (node-specific merged over "").
+  [[nodiscard]] FaultState fault_state(const cluster::NodeName& node) const;
+  void apply_fault_state(const cluster::NodeName& node, SgxProbe& probe) const;
+
   sim::Simulation* sim_;
   ApiServer* api_;
   tsdb::Database* db_;
@@ -47,6 +65,7 @@ class ProbeDaemonSet {
   Duration reconcile_period_;
   sim::EventId timer_;
   std::map<cluster::NodeName, std::unique_ptr<SgxProbe>> probes_;
+  std::map<cluster::NodeName, FaultState> faults_;  // "" = all probes
 };
 
 }  // namespace sgxo::orch

@@ -22,17 +22,37 @@ void Heapster::stop() {
   }
 }
 
+void Heapster::deliver(const cluster::PodName& pod,
+                       const cluster::NodeName& node, TimePoint sampled,
+                       double value) {
+  tsdb::Tags tags{{"pod_name", pod}, {"nodename", node}, {"type", "pod"}};
+  db_->write(kMemoryMeasurement, tags, sampled, value);
+}
+
 void Heapster::scrape_once() {
   ++scrapes_;
   const TimePoint now = sim_->now();
   for (const ApiServer::NodeEntry& entry : api_->all_nodes()) {
     for (const cluster::Kubelet::PodStats& stats :
          entry.kubelet->pod_stats()) {
-      tsdb::Tags tags{{"pod_name", stats.pod},
-                      {"nodename", entry.node->name()},
-                      {"type", "pod"}};
-      db_->write(kMemoryMeasurement, tags, now,
-                 static_cast<double>(stats.memory_usage.count()));
+      if (drop_samples_) {
+        ++dropped_;
+        continue;
+      }
+      const double value = static_cast<double>(stats.memory_usage.count());
+      if (sample_delay_ > Duration{}) {
+        // Delayed delivery keeps the original sample timestamp, so the
+        // point lands out of order — exactly what a congested collector
+        // produces.
+        ++delayed_;
+        const cluster::PodName pod = stats.pod;
+        const cluster::NodeName node = entry.node->name();
+        sim_->schedule_after(sample_delay_, [this, pod, node, now, value] {
+          deliver(pod, node, now, value);
+        });
+        continue;
+      }
+      deliver(stats.pod, entry.node->name(), now, value);
     }
   }
   db_->enforce_retention(now, retention_);

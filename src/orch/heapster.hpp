@@ -33,7 +33,21 @@ class Heapster {
 
   [[nodiscard]] std::uint64_t scrape_count() const { return scrapes_; }
 
+  // ---- fault injection -----------------------------------------------------
+  /// While set, scraped samples are discarded instead of written.
+  void set_drop_samples(bool drop) { drop_samples_ = drop; }
+  [[nodiscard]] bool dropping_samples() const { return drop_samples_; }
+  /// Samples reach the TSDB `delay` late (original timestamps, so they
+  /// arrive out of order). Zero restores immediate delivery.
+  void set_sample_delay(Duration delay) { sample_delay_ = delay; }
+  [[nodiscard]] Duration sample_delay() const { return sample_delay_; }
+  [[nodiscard]] std::uint64_t dropped_samples() const { return dropped_; }
+  [[nodiscard]] std::uint64_t delayed_samples() const { return delayed_; }
+
  private:
+  void deliver(const cluster::PodName& pod, const cluster::NodeName& node,
+               TimePoint sampled, double value);
+
   sim::Simulation* sim_;
   ApiServer* api_;
   tsdb::Database* db_;
@@ -41,6 +55,10 @@ class Heapster {
   Duration retention_;
   sim::EventId timer_;
   std::uint64_t scrapes_ = 0;
+  bool drop_samples_ = false;
+  Duration sample_delay_{};
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delayed_ = 0;
 };
 
 }  // namespace sgxo::orch

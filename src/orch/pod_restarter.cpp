@@ -1,6 +1,16 @@
 #include "orch/pod_restarter.hpp"
 
+#include <algorithm>
+
 namespace sgxo::orch {
+
+namespace {
+// Admission-retry backoff: first retry after the base, doubling per
+// rejection up to the cap. Quota pressure clears when doomed pods finish
+// or fail, so seconds-scale waits are plenty.
+constexpr Duration kRetryBase = Duration::seconds(1);
+constexpr Duration kRetryCap = Duration::seconds(60);
+}  // namespace
 
 PodRestarter::PodRestarter(sim::Simulation& sim, ApiServer& api,
                            Duration period, Mode mode)
@@ -10,7 +20,7 @@ PodRestarter::PodRestarter(sim::Simulation& sim, ApiServer& api,
 
 PodRestarter::~PodRestarter() { stop(); }
 
-void PodRestarter::start() {
+void PodRestarter::connect_source() {
   if (mode_ == Mode::kPoll) {
     if (timer_.valid()) return;
     timer_ = sim_->schedule_every(period_, period_, [this] { run_once(); });
@@ -22,15 +32,13 @@ void PodRestarter::start() {
     const cluster::PodName pod = update.pod;
     // Defer the resubmission by one simulation event: the failure may
     // arrive from deep inside a Kubelet teardown path.
-    sim_->schedule_after(Duration{}, [this, pod] {
-      if (!api_->has_pod(pod)) return;
-      const PodRecord& record = api_->pod(pod);
-      if (restartable(record) &&
-          handled_.find(pod) == handled_.end()) {
-        restart(record);
-      }
-    });
+    sim_->schedule_after(Duration{}, [this, pod] { maybe_restart(pod); });
   });
+}
+
+void PodRestarter::start() {
+  connected_ = true;
+  connect_source();
 }
 
 void PodRestarter::stop() {
@@ -42,6 +50,38 @@ void PodRestarter::stop() {
     api_->unwatch(watch_);
     watch_ = 0;
   }
+  for (auto& [pod, retry] : retries_) {
+    if (retry.event.valid()) sim_->cancel(retry.event);
+  }
+  retries_.clear();
+  connected_ = false;
+}
+
+void PodRestarter::disconnect() {
+  if (!connected_) return;
+  connected_ = false;
+  ++disconnects_;
+  if (timer_.valid()) {
+    sim_->cancel(timer_);
+    timer_ = sim::EventId{};
+  }
+  if (watch_ != 0) {
+    api_->unwatch(watch_);
+    watch_ = 0;
+  }
+  // Armed admission retries stay armed: they are local state, not watch
+  // events, and the quota pressure that caused them clears independently.
+}
+
+void PodRestarter::resync() {
+  if (connected_) return;
+  connected_ = true;
+  ++resyncs_;
+  connect_source();
+  // The re-list: one full reconciliation pass picks up every failure that
+  // happened while the channel was down (watch mode would otherwise never
+  // hear about them; poll mode just reconciles early).
+  run_once();
 }
 
 bool PodRestarter::restartable(const PodRecord& record) {
@@ -49,14 +89,49 @@ bool PodRestarter::restartable(const PodRecord& record) {
          record.failure_reason == "NodeFailure";
 }
 
-void PodRestarter::restart(const PodRecord& record) {
+void PodRestarter::maybe_restart(const cluster::PodName& pod) {
+  if (!api_->has_pod(pod)) return;
+  if (handled_.find(pod) != handled_.end()) return;
+  const auto retry_it = retries_.find(pod);
+  if (retry_it != retries_.end() && retry_it->second.event.valid()) {
+    return;  // an admission retry is already armed for this pod
+  }
+  const PodRecord& record = api_->pod(pod);
+  if (restartable(record)) restart(record);
+}
+
+bool PodRestarter::restart(const PodRecord& record) {
   cluster::PodSpec retry = record.spec;
   retry.name = record.spec.name + "-retry";
   // The retry must not chase the dead node.
   retry.node_selector.clear();
-  handled_.emplace(record.spec.name, retry.name);
-  api_->submit(std::move(retry));
+  try {
+    api_->submit(std::move(retry));
+  } catch (const QuotaExceeded&) {
+    // The namespace is momentarily full (doomed pods not yet reaped).
+    // Swallow the rejection — this may run inside a watch delivery — and
+    // try again later with capped exponential backoff.
+    ++rejected_restarts_;
+    schedule_retry(record.spec.name);
+    return false;
+  }
+  handled_.emplace(record.spec.name, record.spec.name + "-retry");
+  retries_.erase(record.spec.name);
   ++restarts_;
+  return true;
+}
+
+void PodRestarter::schedule_retry(const cluster::PodName& pod) {
+  Retry& retry = retries_[pod];
+  if (retry.event.valid()) return;  // already armed
+  retry.delay = retry.delay == Duration{}
+                    ? kRetryBase
+                    : std::min(retry.delay * 2, kRetryCap);
+  retry.event = sim_->schedule_after(retry.delay, [this, pod] {
+    const auto it = retries_.find(pod);
+    if (it != retries_.end()) it->second.event = sim::EventId{};
+    maybe_restart(pod);
+  });
 }
 
 std::size_t PodRestarter::run_once() {
@@ -68,8 +143,11 @@ std::size_t PodRestarter::run_once() {
   for (const PodRecord* record : api_->list_pods(filter)) {
     if (!restartable(*record)) continue;
     if (handled_.find(record->spec.name) != handled_.end()) continue;
-    restart(*record);
-    ++resubmitted;
+    const auto retry_it = retries_.find(record->spec.name);
+    if (retry_it != retries_.end() && retry_it->second.event.valid()) {
+      continue;  // admission retry already armed
+    }
+    if (restart(*record)) ++resubmitted;
   }
   return resubmitted;
 }

@@ -3,6 +3,15 @@
 // fresh pods so the workload survives machine loss. Jobs killed by
 // *policy* (EPC limit enforcement) are deliberately NOT restarted: the
 // driver killed them for lying about their resources.
+//
+// Failure handling (chaos-hardened):
+//   * a resubmission that fails admission (e.g. a namespace quota that is
+//     momentarily full with doomed pods) is retried with capped
+//     exponential backoff instead of crashing the delivery path;
+//   * the informer watch channel can disconnect (fault injection);
+//     resync() re-subscribes and runs a full reconciliation pass to catch
+//     every failure missed while the channel was down — Kubernetes
+//     list+watch semantics.
 #pragma once
 
 #include <map>
@@ -36,23 +45,56 @@ class PodRestarter {
   /// One reconciliation pass; returns the number of pods resubmitted.
   std::size_t run_once();
 
+  // ---- watch-channel fault surface ----------------------------------------
+  /// Drops the event source (the watch in kWatch mode, the poll timer in
+  /// kPoll mode) without forgetting state — an informer losing its
+  /// connection. Failures occurring now go unnoticed until resync().
+  void disconnect();
+  /// Reconnects the event source and immediately reconciles once,
+  /// catching everything missed while disconnected (the re-list).
+  void resync();
+  [[nodiscard]] bool connected() const { return connected_; }
+  [[nodiscard]] std::uint64_t disconnects() const { return disconnects_; }
+  [[nodiscard]] std::uint64_t resyncs() const { return resyncs_; }
+
   [[nodiscard]] std::uint64_t restarts() const { return restarts_; }
+  /// Resubmission attempts rejected by admission (each is retried later).
+  [[nodiscard]] std::uint64_t rejected_restarts() const {
+    return rejected_restarts_;
+  }
   /// The retry pod name a failed pod was resubmitted as ("" if none).
   [[nodiscard]] std::string retry_of(const cluster::PodName& pod) const;
 
  private:
+  struct Retry {
+    Duration delay{};     // next wait after a rejected resubmission
+    sim::EventId event;   // armed retry (invalid when none pending)
+  };
+
   [[nodiscard]] static bool restartable(const PodRecord& record);
-  /// Resubmits one failed pod (shared by both modes).
-  void restart(const PodRecord& record);
+  void connect_source();
+  /// Re-checks a failed pod and resubmits it if still warranted — the
+  /// single entry point for watch deliveries and admission retries.
+  void maybe_restart(const cluster::PodName& pod);
+  /// Resubmits one failed pod (shared by both modes). Returns false on an
+  /// admission rejection, which arms a capped-exponential retry instead
+  /// of propagating out of the caller (possibly a watch delivery).
+  bool restart(const PodRecord& record);
+  void schedule_retry(const cluster::PodName& pod);
 
   sim::Simulation* sim_;
   ApiServer* api_;
   Duration period_;
   Mode mode_;
+  bool connected_ = false;
   sim::EventId timer_;
   ApiServer::WatchId watch_ = 0;
   std::map<cluster::PodName, std::string> handled_;  // original → retry name
+  std::map<cluster::PodName, Retry> retries_;
   std::uint64_t restarts_ = 0;
+  std::uint64_t rejected_restarts_ = 0;
+  std::uint64_t disconnects_ = 0;
+  std::uint64_t resyncs_ = 0;
 };
 
 }  // namespace sgxo::orch

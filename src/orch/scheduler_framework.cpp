@@ -49,6 +49,37 @@ void Scheduler::stop() {
   }
 }
 
+void Scheduler::set_bind_backoff(Duration base, Duration cap) {
+  SGXO_CHECK_MSG(base > Duration{}, "backoff base must be positive");
+  SGXO_CHECK_MSG(cap >= base, "backoff cap must be >= base");
+  backoff_base_ = base;
+  backoff_cap_ = cap;
+}
+
+void Scheduler::disable_bind_backoff() {
+  backoff_base_ = Duration{};
+  backoff_cap_ = Duration{};
+  backoffs_.clear();
+}
+
+void Scheduler::note_bind_failure(const cluster::PodName& pod) {
+  if (!bind_backoff_enabled()) return;
+  PodBackoff& entry = backoffs_[pod];
+  entry.delay = entry.delay == Duration{}
+                    ? backoff_base_
+                    : std::min(entry.delay * 2, backoff_cap_);
+  entry.not_before = sim_->now() + entry.delay;
+}
+
+void Scheduler::prune_backoffs() {
+  for (auto it = backoffs_.begin(); it != backoffs_.end();) {
+    const bool still_pending =
+        api_->has_pod(it->first) &&
+        api_->pod(it->first).phase == cluster::PodPhase::kPending;
+    it = still_pending ? std::next(it) : backoffs_.erase(it);
+  }
+}
+
 std::size_t Scheduler::run_once() {
   ++cycles_;
   std::vector<NodeView> views = collect_views();
@@ -66,6 +97,15 @@ std::size_t Scheduler::run_once() {
     const cluster::PodName& pod_name = record->spec.name;
     const cluster::PodSpec& spec = record->spec;
 
+    if (bind_backoff_enabled()) {
+      const auto backoff_it = backoffs_.find(pod_name);
+      if (backoff_it != backoffs_.end() &&
+          sim_->now() < backoff_it->second.not_before) {
+        ++backoff_skips_;
+        continue;  // still backing off — never blocks younger pods
+      }
+    }
+
     std::vector<NodeView> feasible;
     feasible.reserve(views.size());
     std::copy_if(views.begin(), views.end(), std::back_inserter(feasible),
@@ -75,6 +115,7 @@ std::size_t Scheduler::run_once() {
         unschedulable_reported = true;
         on_unschedulable(spec, views);
       }
+      note_bind_failure(pod_name);
       if (strict_fcfs_) break;
       continue;
     }
@@ -82,11 +123,13 @@ std::size_t Scheduler::run_once() {
     const std::optional<cluster::NodeName> chosen =
         select_node(spec, feasible, views);
     if (!chosen.has_value()) {
+      note_bind_failure(pod_name);
       if (strict_fcfs_) break;
       continue;
     }
 
     api_->bind(pod_name, *chosen);
+    backoffs_.erase(pod_name);
     ++bound_this_cycle;
 
     // Account this binding in the cycle-local view so later pods in the
@@ -102,6 +145,10 @@ std::size_t Scheduler::run_once() {
     view_it->epc_used += request.epc_pages;
     view_it->epc_requested += request.epc_pages;
   }
+
+  // Keep the backoff map bounded: entries of pods that left the pending
+  // queue (bound elsewhere, finished, failed) are dropped periodically.
+  if (bind_backoff_enabled() && cycles_ % 64 == 0) prune_backoffs();
 
   bound_ += bound_this_cycle;
   return bound_this_cycle;

@@ -8,6 +8,7 @@
 // nowhere stay in the persistent pending queue for the next cycle.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -81,6 +82,18 @@ class Scheduler {
   void set_strict_fcfs(bool strict) { strict_fcfs_ = strict; }
   [[nodiscard]] bool strict_fcfs() const { return strict_fcfs_; }
 
+  /// Capped exponential bind backoff (off by default): a pod that failed
+  /// placement waits `base` before its next attempt, doubling per failure
+  /// up to `cap`, and resets on a successful bind. Under fault churn this
+  /// keeps repeatedly-unschedulable pods from being re-evaluated (views,
+  /// feasibility, TSDB queries) every single cycle; it takes precedence
+  /// over strict FCFS for backed-off pods (they are skipped, not blocking).
+  void set_bind_backoff(Duration base, Duration cap);
+  void disable_bind_backoff();
+  [[nodiscard]] bool bind_backoff_enabled() const { return backoff_base_ > Duration{}; }
+  /// Placement attempts skipped because the pod was still backing off.
+  [[nodiscard]] std::uint64_t backoff_skips() const { return backoff_skips_; }
+
   /// One scheduling cycle; returns the number of pods bound.
   std::size_t run_once();
 
@@ -112,12 +125,25 @@ class Scheduler {
   [[nodiscard]] sim::Simulation& sim() { return *sim_; }
 
  private:
+  struct PodBackoff {
+    Duration delay{};      // next wait after a failed attempt
+    TimePoint not_before;  // next attempt no earlier than this
+  };
+  /// Records a failed placement attempt: arms/doubles the pod's backoff.
+  void note_bind_failure(const cluster::PodName& pod);
+  /// Drops backoff entries of pods that are no longer pending.
+  void prune_backoffs();
+
   sim::Simulation* sim_;
   ApiServer* api_;
   std::string name_;
   Duration period_;
   sim::EventId timer_;
   bool strict_fcfs_ = false;
+  Duration backoff_base_{};  // zero = backoff disabled
+  Duration backoff_cap_{};
+  std::map<cluster::PodName, PodBackoff> backoffs_;
+  std::uint64_t backoff_skips_ = 0;
   std::uint64_t cycles_ = 0;
   std::uint64_t bound_ = 0;
 };

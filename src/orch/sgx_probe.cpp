@@ -36,9 +36,22 @@ void SgxProbe::probe_once() {
     for (const sgx::Pid pid : entry_.kubelet->pod_pids(pod)) {
       pages += driver.process_pages(pid);
     }
+    if (drop_samples_) {
+      ++dropped_;
+      continue;
+    }
+    const double value = static_cast<double>(pages.as_bytes().count());
     tsdb::Tags tags{{"pod_name", pod}, {"nodename", entry_.node->name()}};
-    db_->write(kEpcMeasurement, tags, now,
-               static_cast<double>(pages.as_bytes().count()));
+    if (sample_delay_ > Duration{}) {
+      // Late delivery with the original timestamp: the point lands out of
+      // order, after the scheduler may already have run without it.
+      ++delayed_;
+      sim_->schedule_after(sample_delay_, [this, tags, now, value] {
+        db_->write(kEpcMeasurement, tags, now, value);
+      });
+      continue;
+    }
+    db_->write(kEpcMeasurement, tags, now, value);
   }
 }
 

@@ -32,6 +32,17 @@ class SgxProbe {
   }
   [[nodiscard]] std::uint64_t probe_count() const { return probes_; }
 
+  // ---- fault injection -----------------------------------------------------
+  /// While set, probed samples are discarded instead of written.
+  void set_drop_samples(bool drop) { drop_samples_ = drop; }
+  [[nodiscard]] bool dropping_samples() const { return drop_samples_; }
+  /// Samples reach the TSDB `delay` late (original timestamps). Zero
+  /// restores immediate delivery.
+  void set_sample_delay(Duration delay) { sample_delay_ = delay; }
+  [[nodiscard]] Duration sample_delay() const { return sample_delay_; }
+  [[nodiscard]] std::uint64_t dropped_samples() const { return dropped_; }
+  [[nodiscard]] std::uint64_t delayed_samples() const { return delayed_; }
+
  private:
   sim::Simulation* sim_;
   ApiServer::NodeEntry entry_;
@@ -39,6 +50,10 @@ class SgxProbe {
   Duration period_;
   sim::EventId timer_;
   std::uint64_t probes_ = 0;
+  bool drop_samples_ = false;
+  Duration sample_delay_{};
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delayed_ = 0;
 };
 
 }  // namespace sgxo::orch

@@ -1,0 +1,169 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sgxo::sim {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash:
+      return "node-crash";
+    case FaultKind::kProbeDropout:
+      return "probe-dropout";
+    case FaultKind::kHeapsterDropout:
+      return "heapster-dropout";
+    case FaultKind::kSampleDelay:
+      return "sample-delay";
+    case FaultKind::kTsdbWriteError:
+      return "tsdb-write-error";
+    case FaultKind::kTsdbStaleReads:
+      return "tsdb-stale-reads";
+    case FaultKind::kWatchDisconnect:
+      return "watch-disconnect";
+  }
+  return "unknown";
+}
+
+std::string FaultSpec::describe() const {
+  std::string out = to_string(kind);
+  out += "@" + sgxo::to_string(at);
+  if (duration > Duration{}) {
+    out += "+" + sgxo::to_string(duration);
+  } else {
+    out += "+forever";
+  }
+  if (!target.empty()) out += " target=" + target;
+  if (delay > Duration{}) out += " delay=" + sgxo::to_string(delay);
+  return out;
+}
+
+Duration FaultPlan::horizon() const {
+  Duration end{};
+  for (const FaultSpec& fault : faults) {
+    end = std::max(end, fault.at + fault.duration);
+  }
+  return end;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  for (const FaultSpec& fault : faults) {
+    if (!out.empty()) out += "; ";
+    out += fault.describe();
+  }
+  return out.empty() ? "(no faults)" : out;
+}
+
+FaultPlan random_plan(Rng& rng, const RandomPlanConfig& config) {
+  SGXO_CHECK_MSG(config.min_faults <= config.max_faults,
+                 "min_faults must not exceed max_faults");
+  SGXO_CHECK_MSG(config.min_duration <= config.max_duration,
+                 "min_duration must not exceed max_duration");
+  FaultPlan plan;
+  const auto count = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(config.min_faults),
+      static_cast<std::int64_t>(config.max_faults)));
+  for (std::size_t i = 0; i < count; ++i) {
+    FaultSpec fault;
+    fault.kind = static_cast<FaultKind>(
+        rng.uniform_int(0, kFaultKindCount - 1));
+    fault.at = Duration::micros(
+        rng.uniform_int(0, std::max<std::int64_t>(
+                               config.window.micros_count() - 1, 0)));
+    // Randomized plans always heal — the chaos harness asserts that the
+    // cluster reconverges, which needs every injected fault to end.
+    fault.duration = Duration::micros(
+        rng.uniform_int(config.min_duration.micros_count(),
+                        config.max_duration.micros_count()));
+    switch (fault.kind) {
+      case FaultKind::kNodeCrash:
+        if (config.crash_targets.empty()) {
+          fault.kind = FaultKind::kHeapsterDropout;
+          break;
+        }
+        fault.target = config.crash_targets[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(
+                                   config.crash_targets.size()) -
+                                   1))];
+        break;
+      case FaultKind::kProbeDropout:
+        // An empty target means every probe; bias towards single nodes
+        // when targets are known.
+        if (!config.probe_targets.empty() && rng.bernoulli(0.75)) {
+          fault.target = config.probe_targets[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(
+                                     config.probe_targets.size()) -
+                                     1))];
+        }
+        break;
+      case FaultKind::kSampleDelay:
+        fault.delay = Duration::micros(
+            rng.uniform_int(1, std::max<std::int64_t>(
+                                   config.max_delay.micros_count(), 1)));
+        break;
+      default:
+        break;
+    }
+    plan.faults.push_back(std::move(fault));
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(Simulation& sim) : sim_(&sim) {}
+
+void FaultInjector::on_inject(FaultKind kind, Handler handler) {
+  SGXO_CHECK_MSG(static_cast<bool>(handler), "null inject handler");
+  inject_handlers_[kind] = std::move(handler);
+}
+
+void FaultInjector::on_heal(FaultKind kind, Handler handler) {
+  SGXO_CHECK_MSG(static_cast<bool>(handler), "null heal handler");
+  heal_handlers_[kind] = std::move(handler);
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  for (const FaultSpec& fault : plan.faults) {
+    sim_->schedule_after(fault.at, [this, fault] { inject(fault); });
+    if (fault.duration > Duration{}) {
+      sim_->schedule_after(fault.at + fault.duration,
+                           [this, fault] { heal(fault); });
+    }
+  }
+}
+
+void FaultInjector::inject(const FaultSpec& spec) {
+  ++injected_;
+  const int overlap = active_[Key{spec.kind, spec.target}]++;
+  if (overlap > 0) return;  // already active for this target: no new edge
+  const auto it = inject_handlers_.find(spec.kind);
+  if (it != inject_handlers_.end()) it->second(spec);
+}
+
+void FaultInjector::heal(const FaultSpec& spec) {
+  ++healed_;
+  const Key key{spec.kind, spec.target};
+  const auto count_it = active_.find(key);
+  SGXO_CHECK_MSG(count_it != active_.end() && count_it->second > 0,
+                 "healing a fault that was never injected");
+  if (--count_it->second > 0) return;  // an overlapping fault is still on
+  active_.erase(count_it);
+  const auto it = heal_handlers_.find(spec.kind);
+  if (it != heal_handlers_.end()) it->second(spec);
+}
+
+bool FaultInjector::active(FaultKind kind, const std::string& target) const {
+  const auto it = active_.find(Key{kind, target});
+  return it != active_.end() && it->second > 0;
+}
+
+std::size_t FaultInjector::active_count() const {
+  std::size_t total = 0;
+  for (const auto& [key, count] : active_) {
+    total += static_cast<std::size_t>(count);
+  }
+  return total;
+}
+
+}  // namespace sgxo::sim

@@ -1,0 +1,141 @@
+// Deterministic fault-injection engine.
+//
+// A FaultPlan is a declarative schedule of fault activations (node
+// crashes, metrics-pipeline dropouts and delays, TSDB write errors and
+// stale-read windows, watch-channel disconnects). The FaultInjector arms
+// a plan on the simulation clock: every activation and every heal is an
+// ordinary simulation event, so a run with the same RNG seed and the same
+// plan is bit-for-bit reproducible — the foundation of the chaos property
+// harness (any failing scenario replays exactly from its logged seed).
+//
+// The injector itself knows nothing about the cluster: concrete effects
+// are registered as per-kind inject/heal handlers (the experiment fixture
+// wires the standard set). Overlapping faults of the same (kind, target)
+// are reference-counted so the heal handler fires only when the *last*
+// overlapping activation ends.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/simulation.hpp"
+
+namespace sgxo::sim {
+
+enum class FaultKind {
+  /// Node crashes: pods on it are lost, kubelet state is wiped; the node
+  /// reboots (cold image cache) when the fault heals.
+  kNodeCrash,
+  /// The SGX probe on `target` ("" = every probe) stops delivering EPC
+  /// samples to the TSDB.
+  kProbeDropout,
+  /// Heapster stops delivering standard-memory samples (cluster-wide).
+  kHeapsterDropout,
+  /// Probe + Heapster samples arrive `delay` late (original timestamps,
+  /// out-of-order TSDB writes).
+  kSampleDelay,
+  /// Every TSDB write fails (samples are lost, not buffered).
+  kTsdbWriteError,
+  /// TSDB queries see no data newer than the activation instant.
+  kTsdbStaleReads,
+  /// An informer watch channel drops; the client re-lists on heal.
+  kWatchDisconnect,
+};
+
+/// Number of FaultKind values (random_plan draws uniformly over them).
+inline constexpr int kFaultKindCount = 7;
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNodeCrash;
+  /// Activation time, relative to FaultInjector::arm.
+  Duration at{};
+  /// Active window; zero means the fault never heals.
+  Duration duration{};
+  /// Node name for node-scoped kinds ("" = all / not applicable).
+  std::string target;
+  /// kSampleDelay only: how late samples arrive.
+  Duration delay{};
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  /// Time (relative to arm) at which the last fault has healed; permanent
+  /// faults contribute only their activation time.
+  [[nodiscard]] Duration horizon() const;
+  /// One-line reproducible description ("kind@t+d target=...; ...").
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Knobs of the randomized plan generator used by the chaos harness.
+struct RandomPlanConfig {
+  /// Activations are drawn uniformly in [0, window).
+  Duration window = Duration::minutes(10);
+  std::size_t min_faults = 1;
+  std::size_t max_faults = 6;
+  /// Fault durations are drawn uniformly in [min_duration, max_duration].
+  Duration min_duration = Duration::seconds(10);
+  Duration max_duration = Duration::minutes(2);
+  /// kSampleDelay delays are drawn uniformly in (0, max_delay].
+  Duration max_delay = Duration::seconds(30);
+  /// Crash / probe-dropout targets (typically the schedulable nodes; probe
+  /// dropouts only land on the SGX subset a harness passes here).
+  std::vector<std::string> crash_targets;
+  std::vector<std::string> probe_targets;
+};
+
+/// Draws a randomized, fully-healing fault plan. Every draw comes from
+/// `rng`, so the plan is a pure function of the seed and the config.
+[[nodiscard]] FaultPlan random_plan(Rng& rng, const RandomPlanConfig& config);
+
+class FaultInjector {
+ public:
+  using Handler = std::function<void(const FaultSpec&)>;
+
+  explicit FaultInjector(Simulation& sim);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Registers the handler fired when a fault of `kind` activates /
+  /// heals. At most one handler per kind and edge (later calls replace).
+  void on_inject(FaultKind kind, Handler handler);
+  void on_heal(FaultKind kind, Handler handler);
+
+  /// Schedules every fault of the plan relative to the current virtual
+  /// time. May be called repeatedly (plans accumulate).
+  void arm(const FaultPlan& plan);
+
+  /// True while at least one fault of (kind, target) is active.
+  [[nodiscard]] bool active(FaultKind kind, const std::string& target) const;
+  /// Total activations / heals fired so far.
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+  [[nodiscard]] std::uint64_t healed() const { return healed_; }
+  /// Currently-active activation count (permanent faults never leave).
+  [[nodiscard]] std::size_t active_count() const;
+
+ private:
+  using Key = std::pair<FaultKind, std::string>;
+
+  void inject(const FaultSpec& spec);
+  void heal(const FaultSpec& spec);
+
+  Simulation* sim_;
+  std::map<FaultKind, Handler> inject_handlers_;
+  std::map<FaultKind, Handler> heal_handlers_;
+  /// Overlap reference counts per (kind, target).
+  std::map<Key, int> active_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t healed_ = 0;
+};
+
+}  // namespace sgxo::sim

@@ -69,14 +69,36 @@ std::size_t Measurement::drop_before(TimePoint horizon) {
   return dropped;
 }
 
-void Database::write(const std::string& measurement, const Tags& tags,
+bool Database::write(const std::string& measurement, const Tags& tags,
                      TimePoint time, double value) {
   SGXO_CHECK_MSG(!measurement.empty(), "measurement name must not be empty");
+  if (write_fault_) {
+    ++failed_writes_;
+    return false;
+  }
   auto it = measurements_.find(measurement);
   if (it == measurements_.end()) {
     it = measurements_.emplace(measurement, Measurement{measurement}).first;
   }
   it->second.series_for(tags).append(Point{time, value});
+  return true;
+}
+
+std::optional<TimePoint> Database::newest_time(
+    const std::string& measurement) const {
+  const Measurement* found = find(measurement);
+  if (found == nullptr) return std::nullopt;
+  std::optional<TimePoint> newest;
+  found->for_each_series([&](const Series& series) {
+    // Points are time-sorted; scan back past the read horizon.
+    const auto& points = series.points();
+    for (auto it = points.rbegin(); it != points.rend(); ++it) {
+      if (read_horizon_.has_value() && it->time > *read_horizon_) continue;
+      if (!newest.has_value() || it->time > *newest) newest = it->time;
+      break;
+    }
+  });
+  return newest;
 }
 
 const Measurement* Database::find(const std::string& name) const {

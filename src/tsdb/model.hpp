@@ -80,12 +80,18 @@ class Measurement {
 };
 
 /// The database: measurements by name, plus an optional retention horizon.
+///
+/// Fault-injection surface: writes can be made to fail (samples are lost,
+/// as when the real InfluxDB endpoint is unreachable) and reads can be
+/// frozen at a horizon (queries see no point newer than it — a stale
+/// replica). Both knobs are driven by the chaos harness.
 class Database {
  public:
   Database() = default;
 
-  /// Inserts one sample.
-  void write(const std::string& measurement, const Tags& tags, TimePoint time,
+  /// Inserts one sample. Returns false (and drops the sample) while the
+  /// write fault is active.
+  bool write(const std::string& measurement, const Tags& tags, TimePoint time,
              double value);
 
   [[nodiscard]] const Measurement* find(const std::string& name) const;
@@ -97,8 +103,32 @@ class Database {
   /// this periodically so long replays do not grow without bound.
   std::size_t enforce_retention(TimePoint now, Duration retention);
 
+  // ---- fault injection -----------------------------------------------------
+  /// While set, every write fails and is counted in failed_writes().
+  void set_write_fault(bool faulted) { write_fault_ = faulted; }
+  [[nodiscard]] bool write_fault() const { return write_fault_; }
+  [[nodiscard]] std::uint64_t failed_writes() const { return failed_writes_; }
+
+  /// While set, queries (and newest_time) see no point newer than
+  /// `horizon` — a stale-read window. nullopt restores live reads.
+  void set_read_horizon(std::optional<TimePoint> horizon) {
+    read_horizon_ = horizon;
+  }
+  [[nodiscard]] std::optional<TimePoint> read_horizon() const {
+    return read_horizon_;
+  }
+
+  /// Timestamp of the newest *visible* point of a measurement (respects
+  /// the read horizon); nullopt when the measurement is empty or unknown.
+  /// The scheduler uses this to detect a stale metrics pipeline.
+  [[nodiscard]] std::optional<TimePoint> newest_time(
+      const std::string& measurement) const;
+
  private:
   std::map<std::string, Measurement> measurements_;
+  bool write_fault_ = false;
+  std::uint64_t failed_writes_ = 0;
+  std::optional<TimePoint> read_horizon_;
 };
 
 }  // namespace sgxo::tsdb

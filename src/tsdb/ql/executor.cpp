@@ -45,8 +45,12 @@ std::vector<Row> source_rows(const SelectStmt& stmt, const Database& db,
     std::vector<Row> rows;
     const Measurement* measurement = db.find(*name);
     if (measurement == nullptr) return rows;  // unknown measurement = empty
+    // A stale-read window (fault injection) hides points newer than the
+    // horizon from every query.
+    const std::optional<TimePoint> horizon = db.read_horizon();
     measurement->for_each_series([&](const Series& series) {
       for (const Point& p : series.points()) {
+        if (horizon.has_value() && p.time > *horizon) break;  // time-sorted
         Row row;
         row.tags = series.tags();
         row.time = p.time;

@@ -1,0 +1,213 @@
+// Shared chaos-scenario runner: one fully-assembled control plane (SGX
+// scheduler + monitoring + watch-driven restarter) replaying a Borg-trace
+// slice while a seeded random fault plan fires through the FaultInjector.
+//
+// The runner never asserts; it returns the scenario's outcome with every
+// invariant violation as a string, so callers attach the seed and the
+// plan description to their failure messages — a failing seed reproduces
+// the exact run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/sgx_scheduler.hpp"
+#include "exp/fixture.hpp"
+#include "orch/pod_restarter.hpp"
+#include "sim/fault.hpp"
+#include "trace/generator.hpp"
+#include "trace/replayer.hpp"
+#include "trace/sgx_mix.hpp"
+#include "workload/stressor.hpp"
+
+namespace sgxo::exp::chaos {
+
+struct ScenarioConfig {
+  std::size_t jobs = 24;
+  /// Trace slice length; arrivals spread uniformly across it.
+  Duration workload_window = Duration::minutes(6);
+  /// Fault activations are drawn in [0, fault_window).
+  Duration fault_window = Duration::minutes(8);
+  std::size_t min_faults = 1;
+  std::size_t max_faults = 6;
+  Duration deadline = Duration::hours(24);
+};
+
+struct ScenarioResult {
+  bool converged = false;  // quiescent before the deadline
+  std::size_t pods = 0;    // pod records at the end (jobs + retries)
+  std::size_t succeeded = 0;
+  std::size_t node_failures = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t healed = 0;
+  std::uint64_t degraded_cycles = 0;
+  std::uint64_t backoff_skips = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t resyncs = 0;
+  /// Invariant breaches observed during or after the run (empty = pass).
+  std::vector<std::string> violations;
+  /// The armed plan, for reproduction messages.
+  std::string plan;
+  /// Serialized API-server event log (time + pod + message) — two runs
+  /// with the same seed must produce identical logs.
+  std::vector<std::string> event_log;
+};
+
+/// Runs one seeded chaos scenario. Everything stochastic — the trace, the
+/// SGX designation, the fault plan — derives from `seed`, so the run is a
+/// pure function of (seed, config).
+inline ScenarioResult run_scenario(std::uint64_t seed,
+                                   const ScenarioConfig& config = {}) {
+  ScenarioResult result;
+  Rng rng{seed};
+
+  SimulatedCluster cluster;
+  core::SgxSchedulerConfig sched_config;
+  sched_config.policy = core::PlacementPolicy::kBinpack;
+  auto& scheduler = cluster.add_sgx_scheduler(std::move(sched_config));
+  scheduler.set_bind_backoff(Duration::seconds(5), Duration::minutes(2));
+  cluster.api().set_default_scheduler(scheduler.name());
+  cluster.start_monitoring();
+
+  orch::PodRestarter restarter{cluster.sim(), cluster.api(),
+                               Duration::seconds(10),
+                               orch::PodRestarter::Mode::kWatch};
+  restarter.start();
+
+  sim::FaultInjector injector{cluster.sim()};
+  cluster.install_fault_handlers(injector, &restarter);
+
+  // Workload: a small trace slice, 60 % SGX, no over-allocating jobs —
+  // the only legitimate failure reason in this scenario is NodeFailure.
+  trace::BorgTraceConfig trace_config;
+  trace_config.seed = seed;
+  trace_config.slice_jobs = config.jobs;
+  trace_config.over_allocating_jobs = 0;
+  trace_config.slice_end = trace_config.slice_start + config.workload_window;
+  auto jobs = trace::BorgTraceGenerator{trace_config}.evaluation_slice();
+  Rng designate = rng.split();
+  trace::designate_sgx(jobs, 0.6, designate);
+  trace::Replayer replayer{
+      cluster.sim(), cluster.api(),
+      [](const trace::TraceJob& job, std::size_t) {
+        return workload::stressor_pod(job, {});
+      }};
+  replayer.schedule(jobs);
+
+  // The fault plan: seeded, always-healing, over every schedulable node.
+  sim::RandomPlanConfig plan_config;
+  plan_config.window = config.fault_window;
+  plan_config.min_faults = config.min_faults;
+  plan_config.max_faults = config.max_faults;
+  plan_config.crash_targets = {"node-1", "node-2", "sgx-1", "sgx-2"};
+  plan_config.probe_targets = {"sgx-1", "sgx-2"};
+  Rng plan_rng = rng.split();
+  const sim::FaultPlan plan = sim::random_plan(plan_rng, plan_config);
+  result.plan = plan.describe();
+  injector.arm(plan);
+
+  // Invariant probe while faults are firing: the EPC is never
+  // over-committed on any surviving node (driver pages and device-plugin
+  // accounting), and no pod runs on two kubelets at once.
+  cluster.sim().schedule_every(
+      Duration::seconds(15), Duration::seconds(15), [&] {
+        for (cluster::Node* node : cluster.nodes()) {
+          if (!node->has_sgx() || !node->ready()) continue;
+          const sgx::Driver& driver = *node->driver();
+          if (driver.epc().committed_pages() > driver.total_epc_pages()) {
+            result.violations.push_back(
+                "EPC over-committed on " + node->name() + " at " +
+                sgxo::to_string(cluster.sim().now().since_epoch()));
+          }
+          if (node->device_allocator().allocated() >
+              node->device_allocator().advertised()) {
+            result.violations.push_back(
+                "device plugin over-allocated on " + node->name() + " at " +
+                sgxo::to_string(cluster.sim().now().since_epoch()));
+          }
+        }
+        std::map<cluster::PodName, int> on_kubelets;
+        for (cluster::Kubelet* kubelet : cluster.kubelets()) {
+          for (const cluster::PodName& pod : kubelet->active_pods()) {
+            if (++on_kubelets[pod] == 2) {
+              result.violations.push_back(
+                  "pod " + pod + " active on two kubelets at " +
+                  sgxo::to_string(cluster.sim().now().since_epoch()));
+            }
+          }
+        }
+      });
+
+  result.converged =
+      cluster.run_until_quiescent(replayer.scheduled_jobs(), config.deadline);
+  // A fault can outlast the workload: quiescence only means every job is
+  // terminal, so drive the clock past the plan's last heal before reading
+  // the injector counters.
+  Duration plan_end{};
+  for (const sim::FaultSpec& spec : plan.faults) {
+    plan_end = std::max(plan_end, spec.at + spec.duration);
+  }
+  const TimePoint after_plan =
+      TimePoint::epoch() + plan_end + Duration::seconds(1);
+  if (after_plan > cluster.sim().now()) cluster.sim().run_until(after_plan);
+  restarter.stop();
+  cluster.stop_all();
+
+  result.injected = injector.injected();
+  result.healed = injector.healed();
+  result.degraded_cycles = scheduler.degraded_cycles();
+  result.backoff_skips = scheduler.backoff_skips();
+  result.disconnects = restarter.disconnects();
+  result.resyncs = restarter.resyncs();
+
+  // End state: no pod lost, none double-run. Every pod is terminal;
+  // failures happen only for NodeFailure; every failed pod's retry chain
+  // ends in success; each logical job succeeds exactly once.
+  result.pods = cluster.api().pod_count();
+  for (const orch::PodRecord* record : cluster.api().all_pods()) {
+    if (record->phase == cluster::PodPhase::kSucceeded) {
+      ++result.succeeded;
+      continue;
+    }
+    if (record->phase != cluster::PodPhase::kFailed) {
+      result.violations.push_back("pod " + record->spec.name +
+                                  " ended non-terminal: " +
+                                  to_string(record->phase));
+      continue;
+    }
+    if (record->failure_reason != "NodeFailure") {
+      result.violations.push_back("pod " + record->spec.name +
+                                  " failed with unexpected reason '" +
+                                  record->failure_reason + "'");
+      continue;
+    }
+    ++result.node_failures;
+    const std::string retry = restarter.retry_of(record->spec.name);
+    if (retry.empty()) {
+      result.violations.push_back("pod " + record->spec.name +
+                                  " lost to a node crash, never resubmitted");
+    }
+  }
+  if (result.converged && result.succeeded != replayer.scheduled_jobs()) {
+    result.violations.push_back(
+        "expected " + std::to_string(replayer.scheduled_jobs()) +
+        " successes, got " + std::to_string(result.succeeded) +
+        " (a job was lost or ran twice)");
+  }
+  if (!result.converged) {
+    result.violations.push_back("did not reconverge before the deadline");
+  }
+
+  result.event_log.reserve(cluster.api().events().size());
+  for (const orch::Event& event : cluster.api().events()) {
+    result.event_log.push_back(
+        sgxo::to_string(event.time.since_epoch()) + " " + event.pod + " " +
+        event.message);
+  }
+  return result;
+}
+
+}  // namespace sgxo::exp::chaos

@@ -1,0 +1,274 @@
+// Chaos property harness, part 1: targeted scenarios — one per fault
+// kind, each asserting the specific degradation and recovery path — plus
+// the determinism regression (same seed + same plan → bit-identical
+// traces) and a small smoke sweep of randomized plans. The full 500-seed
+// sweep lives in chaos_sweep_test.cpp (ctest label: long;chaos).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "chaos_harness.hpp"
+
+namespace sgxo::exp {
+namespace {
+
+using namespace sgxo::literals;
+
+cluster::PodSpec sgx_pod(const std::string& name, Pages pages,
+                         Duration duration) {
+  cluster::PodBehavior behavior;
+  behavior.sgx = true;
+  behavior.actual_usage = pages.as_bytes();
+  behavior.duration = duration;
+  return cluster::make_stressor_pod(name, {0_B, pages}, {0_B, pages},
+                                    behavior);
+}
+
+sim::FaultSpec fault(sim::FaultKind kind, Duration at, Duration duration,
+                     std::string target = "") {
+  sim::FaultSpec spec;
+  spec.kind = kind;
+  spec.at = at;
+  spec.duration = duration;
+  spec.target = std::move(target);
+  return spec;
+}
+
+/// A cluster with the standard control plane and fault wiring, plus one
+/// long-running SGX pod so every metrics surface has live samples.
+class ChaosFixture : public ::testing::Test {
+ protected:
+  ChaosFixture() : injector_(cluster_.sim()) {
+    scheduler_ = &cluster_.add_sgx_scheduler(core::PlacementPolicy::kBinpack);
+    cluster_.api().set_default_scheduler(scheduler_->name());
+    cluster_.start_monitoring();
+    restarter_ = std::make_unique<orch::PodRestarter>(
+        cluster_.sim(), cluster_.api(), Duration::seconds(10),
+        orch::PodRestarter::Mode::kWatch);
+    restarter_->start();
+    cluster_.install_fault_handlers(injector_, restarter_.get());
+  }
+
+  ~ChaosFixture() override {
+    restarter_->stop();
+    cluster_.stop_all();
+  }
+
+  void run_to(Duration t) {
+    cluster_.sim().run_until(TimePoint::epoch() + t);
+  }
+
+  SimulatedCluster cluster_;
+  sim::FaultInjector injector_;
+  core::SgxAwareScheduler* scheduler_ = nullptr;
+  std::unique_ptr<orch::PodRestarter> restarter_;
+};
+
+TEST_F(ChaosFixture, NodeCrashFaultKillsPodsAndRebootHeals) {
+  cluster_.api().submit(sgx_pod("victim", Pages{1000}, Duration::hours(2)));
+  run_to(Duration::seconds(30));
+  const cluster::NodeName node = cluster_.api().pod("victim").node;
+  ASSERT_FALSE(node.empty());
+
+  sim::FaultPlan plan;
+  plan.faults.push_back(fault(sim::FaultKind::kNodeCrash,
+                               Duration::seconds(30), Duration::minutes(2), node));
+  injector_.arm(plan);
+
+  run_to(Duration::seconds(90));
+  EXPECT_TRUE(injector_.active(sim::FaultKind::kNodeCrash, node));
+  EXPECT_FALSE(cluster_.find_node(node)->ready());
+  EXPECT_EQ(cluster_.api().pod("victim").phase, cluster::PodPhase::kFailed);
+  EXPECT_EQ(cluster_.api().pod("victim").failure_reason, "NodeFailure");
+
+  run_to(Duration::minutes(10));
+  EXPECT_FALSE(injector_.active(sim::FaultKind::kNodeCrash, node));
+  EXPECT_TRUE(cluster_.find_node(node)->ready());
+  // The watch-driven restarter resubmitted the victim; the retry runs.
+  const std::string retry = restarter_->retry_of("victim");
+  ASSERT_FALSE(retry.empty());
+  EXPECT_EQ(cluster_.api().pod(retry).phase, cluster::PodPhase::kRunning);
+}
+
+TEST_F(ChaosFixture, OverlappingCrashesHealOnlyAfterTheLastEnds) {
+  sim::FaultPlan plan;
+  plan.faults.push_back(fault(sim::FaultKind::kNodeCrash,
+                               Duration::seconds(10), Duration::minutes(2), "node-1"));
+  plan.faults.push_back(fault(sim::FaultKind::kNodeCrash,
+                               Duration::minutes(1), Duration::minutes(3), "node-1"));
+  injector_.arm(plan);
+
+  // After the first fault's heal point the node must still be down (the
+  // second overlapping fault holds it).
+  run_to(Duration::minutes(3));
+  EXPECT_FALSE(cluster_.find_node("node-1")->ready());
+  EXPECT_TRUE(injector_.active(sim::FaultKind::kNodeCrash, "node-1"));
+
+  run_to(Duration::minutes(5));
+  EXPECT_TRUE(cluster_.find_node("node-1")->ready());
+  EXPECT_EQ(injector_.injected(), 2u);
+  EXPECT_EQ(injector_.healed(), 2u);
+}
+
+TEST_F(ChaosFixture, ProbeDropoutStopsEpcSamplesUntilHeal) {
+  cluster_.api().submit(sgx_pod("enclave", Pages{1000}, Duration::hours(2)));
+  run_to(Duration::minutes(1));
+  const cluster::NodeName node = cluster_.api().pod("enclave").node;
+
+  // Fault times are relative to arming (t=1min): active 1:10 → 3:10.
+  sim::FaultPlan plan;
+  plan.faults.push_back(fault(sim::FaultKind::kProbeDropout,
+                               Duration::seconds(10), Duration::minutes(2), node));
+  injector_.arm(plan);
+  run_to(Duration::minutes(2));
+
+  const orch::SgxProbe* probe = cluster_.daemonset().probe(node);
+  ASSERT_NE(probe, nullptr);
+  EXPECT_GT(probe->dropped_samples(), 0u);
+  const std::uint64_t dropped_mid_window = probe->dropped_samples();
+
+  // After the heal at 3:10, sampling resumes and the counter stops moving.
+  run_to(Duration::minutes(4));
+  const std::uint64_t dropped_total =
+      cluster_.daemonset().probe(node)->dropped_samples();
+  EXPECT_GT(dropped_total, dropped_mid_window);
+  run_to(Duration::minutes(6));
+  EXPECT_EQ(cluster_.daemonset().probe(node)->dropped_samples(),
+            dropped_total);
+  const auto newest = cluster_.db().newest_time("sgx/epc");
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_GT(*newest, TimePoint::epoch() + Duration::minutes(4));
+}
+
+TEST_F(ChaosFixture, HeapsterDropoutAndSampleDelayCountOnTheirSurfaces) {
+  cluster_.api().submit(sgx_pod("enclave", Pages{1000}, Duration::hours(2)));
+  sim::FaultPlan plan;
+  plan.faults.push_back(fault(sim::FaultKind::kHeapsterDropout,
+                               Duration::minutes(1), Duration::minutes(1)));
+  sim::FaultSpec delay;
+  delay.kind = sim::FaultKind::kSampleDelay;
+  delay.at = Duration::minutes(3);
+  delay.duration = Duration::minutes(1);
+  delay.delay = Duration::seconds(20);
+  plan.faults.push_back(delay);
+  injector_.arm(plan);
+
+  run_to(Duration::minutes(5));
+  EXPECT_GT(cluster_.heapster().dropped_samples(), 0u);
+  EXPECT_GT(cluster_.heapster().delayed_samples(), 0u);
+}
+
+TEST_F(ChaosFixture, TsdbWriteErrorLosesSamplesThenRecovers) {
+  cluster_.api().submit(sgx_pod("enclave", Pages{1000}, Duration::hours(2)));
+  sim::FaultPlan plan;
+  plan.faults.push_back(fault(sim::FaultKind::kTsdbWriteError,
+                               Duration::minutes(1), Duration::minutes(2)));
+  injector_.arm(plan);
+
+  run_to(Duration::minutes(2));
+  EXPECT_TRUE(cluster_.db().write_fault());
+  EXPECT_GT(cluster_.db().failed_writes(), 0u);
+
+  run_to(Duration::minutes(6));
+  EXPECT_FALSE(cluster_.db().write_fault());
+  const auto newest = cluster_.db().newest_time("sgx/epc");
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_GT(*newest, TimePoint::epoch() + Duration::minutes(4));
+}
+
+TEST_F(ChaosFixture, StaleReadsTripTheSchedulerIntoRequestFallback) {
+  cluster_.api().submit(sgx_pod("enclave", Pages{1000}, Duration::hours(2)));
+  run_to(Duration::minutes(1));
+  ASSERT_EQ(scheduler_->degraded_cycles(), 0u);
+
+  // Fault times are relative to arming (t=1min): queries see nothing
+  // newer than t=2min during [2min, 7min]; the 60 s staleness threshold
+  // trips a minute into the window.
+  sim::FaultPlan plan;
+  plan.faults.push_back(fault(sim::FaultKind::kTsdbStaleReads,
+                               Duration::minutes(1), Duration::minutes(5)));
+  injector_.arm(plan);
+
+  run_to(Duration::minutes(6));
+  EXPECT_GT(scheduler_->degraded_cycles(), 0u);
+
+  // Scheduling continues mid-outage, on requests alone.
+  cluster_.api().submit(sgx_pod("during-next", Pages{500}, Duration::minutes(1)));
+  run_to(Duration::minutes(7));
+  EXPECT_NE(cluster_.api().pod("during-next").phase,
+            cluster::PodPhase::kPending);
+
+  // Healed at 7min: fresh samples visible again, no further degraded
+  // cycles after the first post-heal read.
+  run_to(Duration::minutes(8));
+  const std::uint64_t degraded = scheduler_->degraded_cycles();
+  run_to(Duration::minutes(11));
+  EXPECT_EQ(scheduler_->degraded_cycles(), degraded);
+}
+
+TEST_F(ChaosFixture, WatchDisconnectMissesFailuresUntilResync) {
+  cluster_.api().submit(sgx_pod("victim", Pages{1000}, Duration::hours(2)));
+  run_to(Duration::seconds(30));
+  const cluster::NodeName node = cluster_.api().pod("victim").node;
+
+  // The watch drops before the crash and reconnects after it: without the
+  // resync re-list the restarter would never learn about the failure.
+  sim::FaultPlan plan;
+  plan.faults.push_back(fault(sim::FaultKind::kWatchDisconnect,
+                               Duration::seconds(40), Duration::minutes(3)));
+  plan.faults.push_back(fault(sim::FaultKind::kNodeCrash,
+                               Duration::minutes(1), Duration::minutes(1), node));
+  injector_.arm(plan);
+
+  run_to(Duration::minutes(3));
+  EXPECT_FALSE(restarter_->connected());
+  EXPECT_EQ(cluster_.api().pod("victim").phase, cluster::PodPhase::kFailed);
+  EXPECT_TRUE(restarter_->retry_of("victim").empty());
+
+  run_to(Duration::minutes(6));
+  EXPECT_TRUE(restarter_->connected());
+  EXPECT_EQ(restarter_->disconnects(), 1u);
+  EXPECT_EQ(restarter_->resyncs(), 1u);
+  EXPECT_FALSE(restarter_->retry_of("victim").empty());
+}
+
+// ---- satellite: determinism regression ------------------------------------
+
+TEST(ChaosDeterminism, SameSeedProducesBitIdenticalTraces) {
+  const chaos::ScenarioResult a = chaos::run_scenario(42);
+  const chaos::ScenarioResult b = chaos::run_scenario(42);
+  EXPECT_EQ(a.plan, b.plan);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.healed, b.healed);
+  EXPECT_EQ(a.succeeded, b.succeeded);
+  EXPECT_EQ(a.node_failures, b.node_failures);
+  ASSERT_EQ(a.event_log.size(), b.event_log.size());
+  for (std::size_t i = 0; i < a.event_log.size(); ++i) {
+    ASSERT_EQ(a.event_log[i], b.event_log[i]) << "first divergence at " << i;
+  }
+}
+
+TEST(ChaosDeterminism, DifferentSeedsProduceDifferentPlans) {
+  Rng rng_a{7};
+  Rng rng_b{8};
+  sim::RandomPlanConfig config;
+  config.crash_targets = {"node-1", "node-2"};
+  config.probe_targets = {"sgx-1"};
+  EXPECT_NE(sim::random_plan(rng_a, config).describe(),
+            sim::random_plan(rng_b, config).describe());
+}
+
+// ---- randomized smoke sweep (full 500-seed sweep: chaos_sweep_test) --------
+
+TEST(ChaosSweep, SmokeTwentyFiveSeeds) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const chaos::ScenarioResult result = chaos::run_scenario(seed);
+    for (const std::string& violation : result.violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << violation
+                    << "\n  plan: " << result.plan;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sgxo::exp

@@ -1,0 +1,177 @@
+// Recovery paths: probe DaemonSet redeployment around node failure and
+// recovery, and PodRestarter resilience — quota-blocked resubmissions
+// retried with backoff, poll-mode disconnect/resync.
+#include <gtest/gtest.h>
+
+#include "exp/fixture.hpp"
+#include "orch/pod_restarter.hpp"
+
+namespace sgxo::orch {
+namespace {
+
+using namespace sgxo::literals;
+
+cluster::PodSpec sgx_pod(const std::string& name, Pages pages,
+                         Duration duration) {
+  cluster::PodBehavior behavior;
+  behavior.sgx = true;
+  behavior.actual_usage = pages.as_bytes();
+  behavior.duration = duration;
+  return cluster::make_stressor_pod(name, {0_B, pages}, {0_B, pages},
+                                    behavior);
+}
+
+cluster::PodSpec standard_pod(const std::string& name, Bytes memory,
+                              Duration duration) {
+  cluster::PodBehavior behavior;
+  behavior.actual_usage = memory;
+  behavior.duration = duration;
+  return cluster::make_stressor_pod(name, {memory, Pages{0}},
+                                    {memory, Pages{0}}, behavior);
+}
+
+class RecoveryFixture : public ::testing::Test {
+ protected:
+  RecoveryFixture() {
+    scheduler_ = &cluster_.add_sgx_scheduler(core::PlacementPolicy::kBinpack);
+    cluster_.api().set_default_scheduler(scheduler_->name());
+    cluster_.start_monitoring();
+  }
+
+  void run_to(Duration t) {
+    cluster_.sim().run_until(TimePoint::epoch() + t);
+  }
+
+  exp::SimulatedCluster cluster_;
+  core::SgxAwareScheduler* scheduler_ = nullptr;
+};
+
+TEST_F(RecoveryFixture, CrashedProbeIsRedeployedWithActiveFaultState) {
+  ASSERT_TRUE(cluster_.daemonset().has_probe("sgx-1"));
+  cluster_.daemonset().set_drop_samples("sgx-1", true);
+  cluster_.daemonset().crash_probe("sgx-1");
+  EXPECT_FALSE(cluster_.daemonset().has_probe("sgx-1"));
+
+  // The next reconcile (30 s period) redeploys; the fault lives in the
+  // node, not the probe process, so the replacement comes up faulted.
+  run_to(Duration::minutes(1));
+  ASSERT_TRUE(cluster_.daemonset().has_probe("sgx-1"));
+  EXPECT_TRUE(cluster_.daemonset().probe("sgx-1")->dropping_samples());
+
+  cluster_.daemonset().set_drop_samples("sgx-1", false);
+  EXPECT_FALSE(cluster_.daemonset().probe("sgx-1")->dropping_samples());
+  cluster_.stop_all();
+}
+
+TEST_F(RecoveryFixture, ProbeRedeployAfterNodeRecoveryResumesSampling) {
+  cluster_.api().submit(sgx_pod("before", Pages{500}, Duration::hours(1)));
+  run_to(Duration::minutes(1));
+  const cluster::NodeName node = cluster_.api().pod("before").node;
+  ASSERT_FALSE(node.empty());
+
+  // The machine dies and takes its probe process with it.
+  cluster_.api().fail_node(node);
+  cluster_.daemonset().crash_probe(node);
+  run_to(Duration::minutes(2));
+  cluster_.api().recover_node(node);
+
+  // Reconcile redeploys the probe on the recovered node; a new pod lands
+  // there and its EPC samples reach the TSDB again.
+  cluster_.api().submit(sgx_pod("after", Pages{500}, Duration::hours(1)));
+  run_to(Duration::minutes(4));
+  ASSERT_TRUE(cluster_.daemonset().has_probe(node));
+  const auto newest = cluster_.db().newest_time("sgx/epc");
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_GT(*newest, TimePoint::epoch() + Duration::minutes(3));
+  cluster_.stop_all();
+}
+
+TEST_F(RecoveryFixture, QuotaBlockedRestartRetriesUntilAdmitted) {
+  cluster_.api().set_quota("t", ResourceQuota{2_GiB, Pages{0}});
+  auto victim = standard_pod("victim", 1_GiB, Duration::hours(1));
+  victim.namespace_name = "t";
+  victim.node_selector = "node-1";
+  cluster_.api().submit(std::move(victim));
+
+  PodRestarter restarter{cluster_.sim(), cluster_.api(),
+                         Duration::seconds(10), PodRestarter::Mode::kWatch};
+  restarter.start();
+  run_to(Duration::minutes(1));
+  ASSERT_EQ(cluster_.api().pod("victim").phase, cluster::PodPhase::kRunning);
+
+  // The node dies, and in the same instant another tenant pod takes the
+  // whole namespace quota: the watch-driven resubmission is rejected at
+  // admission and must be retried, not dropped (and must not crash the
+  // watch delivery path it runs in).
+  cluster_.sim().schedule_at(
+      TimePoint::epoch() + Duration::minutes(2), [&] {
+        cluster_.api().fail_node("node-1");
+        auto blocker = standard_pod("blocker", 2_GiB, Duration::seconds(30));
+        blocker.namespace_name = "t";
+        blocker.node_selector = "node-2";
+        cluster_.api().submit(std::move(blocker));
+      });
+
+  run_to(Duration::minutes(2) + Duration::seconds(1));
+  EXPECT_GE(restarter.rejected_restarts(), 1u);
+  EXPECT_TRUE(restarter.retry_of("victim").empty());
+  EXPECT_EQ(restarter.restarts(), 0u);
+
+  // The blocker finishes in 30 s, releasing quota; the armed backoff
+  // retry then goes through and the victim's replacement runs.
+  run_to(Duration::minutes(5));
+  const std::string retry = restarter.retry_of("victim");
+  ASSERT_FALSE(retry.empty());
+  EXPECT_EQ(restarter.restarts(), 1u);
+  EXPECT_EQ(cluster_.api().pod(retry).phase, cluster::PodPhase::kRunning);
+  restarter.stop();
+  cluster_.stop_all();
+}
+
+TEST_F(RecoveryFixture, PollModeDisconnectPausesUntilResync) {
+  cluster_.api().submit(
+      standard_pod("victim", 1_GiB, Duration::hours(1)));
+  PodRestarter restarter{cluster_.sim(), cluster_.api(),
+                         Duration::seconds(10), PodRestarter::Mode::kPoll};
+  restarter.start();
+  run_to(Duration::minutes(1));
+  const cluster::NodeName node = cluster_.api().pod("victim").node;
+  ASSERT_FALSE(node.empty());
+
+  restarter.disconnect();
+  EXPECT_FALSE(restarter.connected());
+  cluster_.api().fail_node(node);
+
+  // Many poll periods pass; the disconnected controller must not react.
+  run_to(Duration::minutes(3));
+  EXPECT_TRUE(restarter.retry_of("victim").empty());
+
+  restarter.resync();
+  EXPECT_TRUE(restarter.connected());
+  EXPECT_EQ(restarter.disconnects(), 1u);
+  EXPECT_EQ(restarter.resyncs(), 1u);
+  // resync reconciles synchronously — the missed failure is caught.
+  EXPECT_FALSE(restarter.retry_of("victim").empty());
+  restarter.stop();
+  cluster_.stop_all();
+}
+
+TEST_F(RecoveryFixture, WatchModeDisconnectIsIdempotent) {
+  PodRestarter restarter{cluster_.sim(), cluster_.api(),
+                         Duration::seconds(10), PodRestarter::Mode::kWatch};
+  restarter.start();
+  const std::size_t watches = cluster_.api().watch_count();
+  restarter.disconnect();
+  restarter.disconnect();  // second disconnect is a no-op
+  EXPECT_EQ(restarter.disconnects(), 1u);
+  EXPECT_EQ(cluster_.api().watch_count(), watches - 1);
+  restarter.resync();
+  restarter.resync();  // second resync is a no-op
+  EXPECT_EQ(restarter.resyncs(), 1u);
+  EXPECT_EQ(cluster_.api().watch_count(), watches);
+  restarter.stop();
+  cluster_.stop_all();
+}
+
+}  // namespace
+}  // namespace sgxo::orch

@@ -1,6 +1,13 @@
-// Repro: a watch callback that registers a new watch (reallocating the
-// watches_ vector) and then touches its own captured state.
+// Watch-delivery re-entrancy suite. Callbacks may, during delivery:
+// register new watches (reallocating watches_), unwatch themselves,
+// unwatch other watches, and trigger nested notifications (e.g. submit a
+// pod from inside a callback). Each case once produced — or could
+// produce — a use-after-free or a skipped/double delivery; run under the
+// sanitize preset (SGXO_SANITIZE) these are hard memory-safety checks.
 #include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
 
 #include "exp/fixture.hpp"
 
@@ -17,17 +24,115 @@ cluster::PodSpec pod(const std::string& name) {
                                     {1_GiB, Pages{0}}, behavior);
 }
 
-TEST(WatchUaf, AddWatchThenTouchCapture) {
+TEST(WatchReentrancy, AddWatchThenTouchCapture) {
   exp::SimulatedCluster cluster;
   int count = 0;
   int* counter = &count;  // single-pointer capture: fits SBO in-situ
-  (void)cluster.api().watch_pods([counter, &cluster](const ApiServer::PodUpdate&) {
-    if (*counter > 0) return;
-    cluster.api().watch_pods([](const ApiServer::PodUpdate&) {});
-    ++*counter;  // capture read AFTER the vector may have reallocated
-  });
+  (void)cluster.api().watch_pods(
+      [counter, &cluster](const ApiServer::PodUpdate&) {
+        if (*counter > 0) return;
+        cluster.api().watch_pods([](const ApiServer::PodUpdate&) {});
+        ++*counter;  // capture read AFTER the vector may have reallocated
+      });
   cluster.api().submit(pod("p1"));
   EXPECT_EQ(count, 1);
+}
+
+TEST(WatchReentrancy, UnwatchSelfDuringDelivery) {
+  exp::SimulatedCluster cluster;
+  int self_calls = 0;
+  int other_calls = 0;
+  ApiServer::WatchId self_id = 0;
+  self_id = cluster.api().watch_pods(
+      [&](const ApiServer::PodUpdate&) {
+        ++self_calls;
+        cluster.api().unwatch(self_id);
+        ++self_calls;  // own captured state stays valid after unwatch
+      });
+  (void)cluster.api().watch_pods(
+      [&](const ApiServer::PodUpdate&) { ++other_calls; });
+
+  cluster.api().submit(pod("p1"));
+  EXPECT_EQ(self_calls, 2);
+  EXPECT_EQ(other_calls, 1);  // later watches still see the delivery
+  EXPECT_EQ(cluster.api().watch_count(), 1u);
+
+  // The self-unwatched callback is gone for every later transition.
+  cluster.api().submit(pod("p2"));
+  EXPECT_EQ(self_calls, 2);
+  EXPECT_EQ(other_calls, 2);
+}
+
+TEST(WatchReentrancy, UnwatchOtherDuringDelivery) {
+  exp::SimulatedCluster cluster;
+  int victim_calls = 0;
+  ApiServer::WatchId victim_id = 0;
+  // The killer runs first (registration order) and tombstones the victim
+  // mid-delivery: the victim must be skipped for the in-flight update too.
+  (void)cluster.api().watch_pods(
+      [&](const ApiServer::PodUpdate&) { cluster.api().unwatch(victim_id); });
+  victim_id = cluster.api().watch_pods(
+      [&](const ApiServer::PodUpdate&) { ++victim_calls; });
+
+  cluster.api().submit(pod("p1"));
+  EXPECT_EQ(victim_calls, 0);
+  EXPECT_EQ(cluster.api().watch_count(), 1u);
+
+  cluster.api().submit(pod("p2"));
+  EXPECT_EQ(victim_calls, 0);
+}
+
+TEST(WatchReentrancy, NestedNotifyDuringDelivery) {
+  exp::SimulatedCluster cluster;
+  // The first watch reacts to p1's submission by submitting p2 — a nested
+  // notify_watchers while the outer delivery is still iterating.
+  std::vector<std::string> seen;
+  bool submitted_nested = false;
+  (void)cluster.api().watch_pods([&](const ApiServer::PodUpdate& update) {
+    if (update.phase != cluster::PodPhase::kPending) return;
+    if (!submitted_nested) {
+      submitted_nested = true;
+      cluster.api().submit(pod("p2"));
+    }
+  });
+  (void)cluster.api().watch_pods([&](const ApiServer::PodUpdate& update) {
+    if (update.phase != cluster::PodPhase::kPending) return;
+    seen.push_back(update.pod);
+  });
+
+  cluster.api().submit(pod("p1"));
+  // The nested submission completes its full delivery before the outer
+  // one resumes, so the second watch sees p2 first, then p1.
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "p2");
+  EXPECT_EQ(seen[1], "p1");
+}
+
+TEST(WatchReentrancy, UnwatchInsideNestedDeliverySweepsOnceUnwound) {
+  exp::SimulatedCluster cluster;
+  // The self-unwatch happens at nesting depth 2; the tombstone sweep must
+  // wait until the outermost delivery unwinds (no vector mutation under
+  // an active iteration at any depth).
+  int calls = 0;
+  bool nested = false;
+  ApiServer::WatchId id = 0;
+  id = cluster.api().watch_pods([&](const ApiServer::PodUpdate& update) {
+    ++calls;
+    if (update.phase != cluster::PodPhase::kPending) return;
+    if (!nested) {
+      nested = true;
+      cluster.api().submit(pod("p2"));  // nested delivery...
+    } else {
+      cluster.api().unwatch(id);  // ...unwatches at depth 2
+    }
+  });
+
+  cluster.api().submit(pod("p1"));
+  EXPECT_EQ(calls, 2);  // p1 outer + p2 nested, nothing after the unwatch
+  EXPECT_EQ(cluster.api().watch_count(), 0u);
+
+  cluster.api().submit(pod("p3"));
+  EXPECT_EQ(calls, 2);
 }
 
 }  // namespace
