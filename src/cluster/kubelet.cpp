@@ -20,6 +20,14 @@ Pages Kubelet::effective_epc_limit(const PodSpec& spec) {
   return limit.count() > 0 ? limit : spec.total_requests().epc_pages;
 }
 
+bool Kubelet::can_admit(const PodSpec& spec) const {
+  if (active_.find(spec.name) != active_.end()) return false;
+  if (!spec.wants_sgx()) return true;
+  if (!node_->has_sgx()) return false;
+  return node_->device_allocator().available() >=
+         spec.total_requests().epc_pages;
+}
+
 void Kubelet::admit_pod(const PodSpec& spec) {
   SGXO_CHECK_MSG(active_.find(spec.name) == active_.end(),
                  "pod already active on node");

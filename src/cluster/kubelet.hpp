@@ -52,6 +52,16 @@ class Kubelet {
   /// synchronously (device exhaustion) — reported through the listener.
   void admit_pod(const PodSpec& spec);
 
+  /// Admission guard: would admit_pod succeed right now? Re-checks the
+  /// pod's declared EPC request against the node's *live* device-plugin
+  /// commitments (the ledger of every pod currently admitted here), so a
+  /// bind delivered by a scheduler with a stale node view — a second
+  /// leader during a split-brain window, a restarted scheduler trusting
+  /// cached state — is rejected before it can over-commit the EPC.
+  /// Deliberately EPC-only: standard memory over-commit is tolerated at
+  /// admission, exactly as in Kubernetes.
+  [[nodiscard]] bool can_admit(const PodSpec& spec) const;
+
   /// Per-pod standard memory usage, the stats Heapster scrapes.
   struct PodStats {
     PodName pod;

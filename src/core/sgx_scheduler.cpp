@@ -26,7 +26,9 @@ SgxAwareScheduler::SgxAwareScheduler(sim::Simulation& sim,
                                      SgxSchedulerConfig config)
     : Scheduler(sim, api, resolve_name(config), config.period),
       config_(std::move(config)),
-      metrics_(db, config_.metrics_window) {}
+      metrics_(db, config_.metrics_window) {
+  if (!config_.identity.empty()) set_identity(config_.identity);
+}
 
 std::vector<orch::NodeView> SgxAwareScheduler::collect_views() {
   // Start from the request-based view: capacities plus the device-plugin

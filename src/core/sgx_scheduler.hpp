@@ -37,6 +37,9 @@ struct SgxSchedulerConfig {
   Duration metrics_window = Duration::seconds(25);
   /// Scheduler name pods select; empty derives "sgx-binpack"/"sgx-spread".
   std::string name;
+  /// Replica identity for leader election (HA deployments run N replicas
+  /// sharing a name). Empty = the name itself.
+  std::string identity;
   /// Priority preemption under contention (extension; the paper's
   /// per-process EPC ioctl exists "to identify processes that should be
   /// preempted", §V-E): a pending pod that fits nowhere may evict
@@ -62,7 +65,7 @@ class SgxAwareScheduler final : public orch::Scheduler {
   [[nodiscard]] std::uint64_t preemptions() const { return preemptions_; }
   /// Cycles that ran on declared requests because the metrics window was
   /// stale past the configured threshold.
-  [[nodiscard]] std::uint64_t degraded_cycles() const {
+  [[nodiscard]] std::uint64_t degraded_cycles() const override {
     return degraded_cycles_;
   }
 

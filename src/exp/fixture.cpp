@@ -94,13 +94,31 @@ core::SgxAwareScheduler& SimulatedCluster::add_sgx_scheduler(
   return ref;
 }
 
-orch::DefaultScheduler& SimulatedCluster::add_default_scheduler() {
+orch::DefaultScheduler& SimulatedCluster::add_default_scheduler(
+    std::string identity) {
   auto scheduler = std::make_unique<orch::DefaultScheduler>(
-      sim_, *api_, config_.scheduler_period);
+      sim_, *api_, config_.scheduler_period, std::move(identity));
   scheduler->start();
   orch::DefaultScheduler& ref = *scheduler;
   schedulers_.push_back(std::move(scheduler));
   return ref;
+}
+
+std::vector<orch::Scheduler*> SimulatedCluster::schedulers() {
+  std::vector<orch::Scheduler*> out;
+  out.reserve(schedulers_.size());
+  for (const auto& scheduler : schedulers_) {
+    out.push_back(scheduler.get());
+  }
+  return out;
+}
+
+orch::Scheduler* SimulatedCluster::find_scheduler(
+    const std::string& identity) {
+  for (const auto& scheduler : schedulers_) {
+    if (scheduler->identity() == identity) return scheduler.get();
+  }
+  return nullptr;
 }
 
 void SimulatedCluster::install_fault_handlers(sim::FaultInjector& injector,
@@ -171,6 +189,32 @@ void SimulatedCluster::install_fault_handlers(sim::FaultInjector& injector,
     injector.on_heal(FaultKind::kWatchDisconnect,
                      [restarter](const FaultSpec&) { restarter->resync(); });
   }
+
+  // Control-plane faults. A crashed replica does NOT release its lease
+  // (crash-stop), so standbys wait out the TTL; on heal the process
+  // "restarts" and rejoins as a standby.
+  injector.on_inject(FaultKind::kSchedulerCrash, [this](const FaultSpec& spec) {
+    orch::Scheduler* scheduler = find_scheduler(spec.target);
+    if (scheduler != nullptr && !scheduler->crashed()) scheduler->crash();
+  });
+  injector.on_heal(FaultKind::kSchedulerCrash, [this](const FaultSpec& spec) {
+    orch::Scheduler* scheduler = find_scheduler(spec.target);
+    if (scheduler != nullptr && scheduler->crashed()) scheduler->restart();
+  });
+
+  // Forced lease expiry is instantaneous — there is nothing to heal; the
+  // next acquisition (possibly by a different replica) re-creates it.
+  injector.on_inject(FaultKind::kLeaseExpiry, [this](const FaultSpec& spec) {
+    api_->leases().expire(spec.target);
+  });
+
+  // Split-brain window: the LeaseManager grants everyone until heal.
+  injector.on_inject(FaultKind::kSplitBrainWindow, [this](const FaultSpec&) {
+    api_->leases().set_split_brain(true);
+  });
+  injector.on_heal(FaultKind::kSplitBrainWindow, [this](const FaultSpec&) {
+    api_->leases().set_split_brain(false);
+  });
 }
 
 void SimulatedCluster::start_monitoring() {

@@ -76,8 +76,14 @@ class SimulatedCluster {
   /// Full-control variant: period and metrics window default from the
   /// cluster config when left at their zero values.
   core::SgxAwareScheduler& add_sgx_scheduler(core::SgxSchedulerConfig config);
-  /// Creates and starts the Kubernetes default scheduler baseline.
-  orch::DefaultScheduler& add_default_scheduler();
+  /// Creates and starts the Kubernetes default scheduler baseline;
+  /// `identity` distinguishes HA replicas sharing the default name.
+  orch::DefaultScheduler& add_default_scheduler(std::string identity = {});
+
+  /// All schedulers this fixture owns, in creation order.
+  [[nodiscard]] std::vector<orch::Scheduler*> schedulers();
+  /// The scheduler replica with the given identity, or nullptr.
+  [[nodiscard]] orch::Scheduler* find_scheduler(const std::string& identity);
 
   /// Starts Heapster and deploys the probe DaemonSet.
   void start_monitoring();

@@ -31,7 +31,7 @@ bool assigned(cluster::PodPhase phase) {
 
 }  // namespace
 
-ApiServer::ApiServer(sim::Simulation& sim) : sim_(&sim) {}
+ApiServer::ApiServer(sim::Simulation& sim) : sim_(&sim), leases_(sim) {}
 
 void ApiServer::register_node(cluster::Node& node, cluster::Kubelet& kubelet) {
   SGXO_CHECK_MSG(find_node(node.name()) == nullptr,
@@ -270,22 +270,56 @@ std::vector<cluster::PodName> ApiServer::pending_pods(
   return out;
 }
 
+ApiServer::BindOutcome ApiServer::try_bind(const cluster::PodName& pod,
+                                           const cluster::NodeName& node,
+                                           std::uint64_t expected_version) {
+  PodRecord& record = mutable_pod(pod);
+  if (record.phase != cluster::PodPhase::kPending) {
+    ++bind_conflicts_;
+    return BindOutcome::kNotPending;
+  }
+  if (record.resource_version != expected_version) {
+    ++bind_conflicts_;
+    return BindOutcome::kStaleVersion;
+  }
+  const NodeEntry* entry = find_node(node);
+  if (entry == nullptr || !entry->node->schedulable()) {
+    return BindOutcome::kNodeUnavailable;
+  }
+  // Kubelet admission guard: re-check the declared EPC against the node's
+  // *live* device commitments at delivery time. A scheduler whose view of
+  // the node predates another leader's binds (split-brain window) passes
+  // the CAS above — the pod itself is unchanged — but must not be allowed
+  // to over-commit the EPC it promised never to over-commit.
+  if (!entry->kubelet->can_admit(record.spec)) {
+    ++guard_rejections_;
+    record_event(pod, "BindRejected: EPC admission guard on " + node);
+    return BindOutcome::kAdmissionRejected;
+  }
+  unindex(record);  // leaves the pending queue
+  record.phase = cluster::PodPhase::kBound;
+  record.bound = sim_->now();
+  record.node = node;
+  bump_version(record);
+  node_insert(record);
+  record_event(pod, "Scheduled to " + node);
+  notify_watchers(pod, cluster::PodPhase::kBound);
+  entry->kubelet->admit_pod(record.spec);
+  return BindOutcome::kBound;
+}
+
 void ApiServer::bind(const cluster::PodName& pod,
                      const cluster::NodeName& node) {
-  PodRecord& record = mutable_pod(pod);
+  const PodRecord& record = mutable_pod(pod);
   SGXO_CHECK_MSG(record.phase == cluster::PodPhase::kPending,
                  "binding a non-pending pod");
   const NodeEntry* entry = find_node(node);
   SGXO_CHECK_MSG(entry != nullptr, "binding to unknown node " + node);
   SGXO_CHECK_MSG(entry->node->schedulable(), "binding to master node");
-  unindex(record);  // leaves the pending queue
-  record.phase = cluster::PodPhase::kBound;
-  record.bound = sim_->now();
-  record.node = node;
-  node_insert(record);
-  record_event(pod, "Scheduled to " + node);
-  notify_watchers(pod, cluster::PodPhase::kBound);
-  entry->kubelet->admit_pod(record.spec);
+  const BindOutcome outcome = try_bind(pod, node, record.resource_version);
+  SGXO_CHECK_MSG(outcome == BindOutcome::kBound,
+                 "bind of " + pod + " to " + node +
+                     " rejected by the admission guard");
 }
 
 void ApiServer::evict(const cluster::PodName& pod,
@@ -301,6 +335,7 @@ void ApiServer::evict(const cluster::PodName& pod,
   record.bound.reset();
   record.node.clear();
   ++record.evictions;
+  bump_version(record);
   pending_insert(record);
   record_event(pod, "Evicted: " + reason);
   notify_watchers(pod, cluster::PodPhase::kPending);
@@ -343,6 +378,7 @@ void ApiServer::migrate(const cluster::PodName& pod,
       bundle.checkpoint_latency + service.transfer_latency(bundle.checkpoint);
   unindex(record);  // leaves the source node's index
   record.node = target;
+  bump_version(record);
   node_insert(record);
   record_event(pod, "Migrated " + source->node->name() + " -> " + target);
   destination->kubelet->admit_migrated(std::move(bundle), service, inbound);
@@ -462,6 +498,7 @@ void ApiServer::on_pod_running(const cluster::PodName& pod) {
   SGXO_CHECK_MSG(record.phase == cluster::PodPhase::kBound,
                  "pod running without being bound");
   record.phase = cluster::PodPhase::kRunning;  // stays in the node index
+  bump_version(record);
   // Keep the first start across evictions: waiting time is the paper's
   // submission → first-actually-running interval.
   if (!record.started.has_value()) {
@@ -479,6 +516,7 @@ void ApiServer::on_pod_succeeded(const cluster::PodName& pod) {
   usage_remove(record);
   record.phase = cluster::PodPhase::kSucceeded;
   record.finished = sim_->now();
+  bump_version(record);
   record_event(pod, "Succeeded");
   notify_watchers(pod, cluster::PodPhase::kSucceeded);
 }
@@ -493,6 +531,7 @@ void ApiServer::on_pod_failed(const cluster::PodName& pod,
   record.phase = cluster::PodPhase::kFailed;
   record.finished = sim_->now();
   record.failure_reason = reason;
+  bump_version(record);
   record_event(pod, "Failed: " + reason);
   notify_watchers(pod, cluster::PodPhase::kFailed);
 }

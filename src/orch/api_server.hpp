@@ -25,6 +25,7 @@
 #include "cluster/node.hpp"
 #include "cluster/pod.hpp"
 #include "common/time.hpp"
+#include "orch/lease.hpp"
 #include "sim/simulation.hpp"
 
 namespace sgxo::orch {
@@ -36,6 +37,11 @@ struct PodRecord {
   /// Submission sequence number — the FCFS tie-breaker within a priority
   /// class (and the key of the pending-queue index).
   std::uint64_t seq = 0;
+  /// Optimistic-concurrency version, bumped on every phase transition and
+  /// reassignment. Conditional binds compare-and-swap against it, so a
+  /// scheduler acting on a stale snapshot fails cleanly instead of
+  /// double-placing the pod.
+  std::uint64_t resource_version = 1;
   std::optional<TimePoint> bound;
   /// First time the pod ran (kept across evictions: waiting time measures
   /// submission → first start).
@@ -153,8 +159,52 @@ class ApiServer final : public cluster::PodLifecycleListener {
   [[nodiscard]] std::vector<cluster::PodName> pending_pods(
       const std::string& scheduler_name) const;
 
-  /// Binds a pending pod to a node and hands it to that node's Kubelet.
+  /// Outcome of a conditional bind. Everything except kBound leaves the
+  /// pod exactly where it was (pending pods stay in the queue).
+  enum class BindOutcome {
+    kBound,
+    /// expected_version no longer matches — the pod changed since the
+    /// caller's snapshot (evicted+requeued, resubmitted, ...).
+    kStaleVersion,
+    /// The pod is not pending (already bound by another scheduler, or
+    /// terminal).
+    kNotPending,
+    /// Unknown or unschedulable (master / failed) target node.
+    kNodeUnavailable,
+    /// The node's kubelet admission guard rejected the delivery: the
+    /// declared EPC no longer fits the node's live commitments. The last
+    /// line of defence against split-brain over-commitment.
+    kAdmissionRejected,
+  };
+
+  /// Conditional (compare-and-swap) bind: succeeds only if the pod is
+  /// still pending, its resource_version equals `expected_version`, the
+  /// node is schedulable, and the node's kubelet admits the declared
+  /// resources against its live commitments. On success the pod is bound
+  /// and handed to the Kubelet; on any other outcome nothing changes.
+  BindOutcome try_bind(const cluster::PodName& pod,
+                       const cluster::NodeName& node,
+                       std::uint64_t expected_version);
+
+  /// Strict bind: conditional bind against the pod's current version,
+  /// asserting success — the single-scheduler fast path and the legacy
+  /// test surface. Throws ContractViolation on any rejection.
   void bind(const cluster::PodName& pod, const cluster::NodeName& node);
+
+  /// try_bind rejections due to a stale version or a no-longer-pending
+  /// pod (two schedulers racing for the same pod).
+  [[nodiscard]] std::uint64_t bind_conflicts() const {
+    return bind_conflicts_;
+  }
+  /// try_bind rejections by the kubelet admission guard (an over-commit
+  /// stopped at delivery).
+  [[nodiscard]] std::uint64_t guard_rejections() const {
+    return guard_rejections_;
+  }
+
+  // ---- leader-election leases ----------------------------------------------
+  [[nodiscard]] LeaseManager& leases() { return leases_; }
+  [[nodiscard]] const LeaseManager& leases() const { return leases_; }
 
   /// Live-migrates a *running* SGX pod to another schedulable SGX node
   /// (enclave checkpoint/restore, §VIII): extracts the bundle from the
@@ -234,6 +284,9 @@ class ApiServer final : public cluster::PodLifecycleListener {
   };
 
   PodRecord& mutable_pod(const cluster::PodName& name);
+  /// Marks a mutation for optimistic concurrency: every phase transition
+  /// or reassignment bumps the record's version.
+  static void bump_version(PodRecord& record) { ++record.resource_version; }
   void record_event(const cluster::PodName& pod, std::string message);
   void notify_watchers(const cluster::PodName& pod,
                        cluster::PodPhase phase);
@@ -252,6 +305,9 @@ class ApiServer final : public cluster::PodLifecycleListener {
                       std::vector<const PodRecord*>& out) const;
 
   sim::Simulation* sim_;
+  LeaseManager leases_;
+  std::uint64_t bind_conflicts_ = 0;
+  std::uint64_t guard_rejections_ = 0;
   std::string default_scheduler_ = "default-scheduler";
   std::map<std::string, ResourceQuota> quotas_;
   std::vector<NodeEntry> nodes_;

@@ -13,8 +13,11 @@ class DefaultScheduler final : public Scheduler {
  public:
   static constexpr const char* kName = "default-scheduler";
 
+  /// `identity` distinguishes replicas under leader election (HA runs N
+  /// default schedulers sharing kName); empty keeps the name as identity.
   DefaultScheduler(sim::Simulation& sim, ApiServer& api,
-                   Duration period = Duration::seconds(5));
+                   Duration period = Duration::seconds(5),
+                   std::string identity = {});
 
  protected:
   /// Usage = sum of the declared requests of pods assigned to each node.

@@ -4,9 +4,11 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "orch/api_server.hpp"
+#include "orch/scheduler_framework.hpp"
 
 namespace sgxo::orch {
 
@@ -31,5 +33,19 @@ namespace sgxo::orch {
 /// nodes.
 [[nodiscard]] std::string describe_node(const ApiServer& api,
                                         const cluster::NodeName& name);
+
+/// `kubectl get leases`: one row per lease the LeaseManager has seen.
+/// Columns: LEASE, HOLDER ("<expired>" when lapsed), EXPIRES IN,
+/// TRANSITIONS.
+[[nodiscard]] Table get_leases(const ApiServer& api, TimePoint now);
+
+/// Control-plane health report: ApiServer-wide conditional-bind conflict /
+/// admission-guard counters, the lease table with its transition history,
+/// and one line per scheduler replica (identity, leader/standby/crashed
+/// state, cycles, elections, binds, conflicts, backoff skips, degraded
+/// cycles).
+[[nodiscard]] std::string describe_control_plane(
+    const ApiServer& api, const std::vector<const Scheduler*>& schedulers,
+    TimePoint now);
 
 }  // namespace sgxo::orch

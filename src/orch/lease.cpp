@@ -1,0 +1,93 @@
+#include "orch/lease.hpp"
+
+#include "common/error.hpp"
+
+namespace sgxo::orch {
+
+LeaseManager::LeaseManager(sim::Simulation& sim) : sim_(&sim) {}
+
+void LeaseManager::record_transition(const std::string& lease,
+                                     std::string from, std::string to) {
+  transitions_.push_back(
+      LeaseTransition{sim_->now(), lease, std::move(from), std::move(to)});
+}
+
+bool LeaseManager::try_acquire(const std::string& lease,
+                               const std::string& holder, Duration ttl) {
+  SGXO_CHECK_MSG(!lease.empty(), "lease needs a name");
+  SGXO_CHECK_MSG(!holder.empty(), "lease holder needs an identity");
+  SGXO_CHECK_MSG(ttl > Duration{}, "lease TTL must be positive");
+
+  Lease& entry = leases_[lease];
+  const TimePoint now = sim_->now();
+  const bool lapsed = !entry.holder.empty() && entry.expires <= now;
+  if (entry.holder.empty() || lapsed || entry.holder == holder) {
+    if (entry.holder != holder) {
+      // A lapsed holder is recorded as already gone: the takeover is a
+      // transition from "nobody", matching what holder() reported.
+      record_transition(lease, lapsed ? "" : entry.holder, holder);
+    }
+    entry.holder = holder;
+    entry.expires = now + ttl;
+    return true;
+  }
+  if (split_brain_) {
+    // Mutual exclusion deliberately broken: the caller believes it leads,
+    // but the legitimate holder keeps the recorded lease.
+    ++split_grants_;
+    return true;
+  }
+  return false;
+}
+
+void LeaseManager::release(const std::string& lease,
+                           const std::string& holder) {
+  const auto it = leases_.find(lease);
+  if (it == leases_.end() || it->second.holder != holder) return;
+  if (it->second.expires > sim_->now()) {
+    record_transition(lease, it->second.holder, "");
+  }
+  it->second.holder.clear();
+}
+
+std::optional<std::string> LeaseManager::holder(
+    const std::string& lease) const {
+  const auto it = leases_.find(lease);
+  if (it == leases_.end() || it->second.holder.empty()) return std::nullopt;
+  if (it->second.expires <= sim_->now()) return std::nullopt;
+  return it->second.holder;
+}
+
+std::optional<TimePoint> LeaseManager::expiry(const std::string& lease) const {
+  const auto it = leases_.find(lease);
+  if (it == leases_.end() || it->second.holder.empty()) return std::nullopt;
+  return it->second.expires;
+}
+
+void LeaseManager::expire(const std::string& lease) {
+  const auto it = leases_.find(lease);
+  if (it == leases_.end() || it->second.holder.empty()) return;
+  if (it->second.expires > sim_->now()) {
+    record_transition(lease, it->second.holder, "");
+  }
+  it->second.holder.clear();
+}
+
+void LeaseManager::set_split_brain(bool on) { split_brain_ = on; }
+
+std::uint64_t LeaseManager::transition_count(const std::string& lease) const {
+  std::uint64_t count = 0;
+  for (const LeaseTransition& transition : transitions_) {
+    if (transition.lease == lease) ++count;
+  }
+  return count;
+}
+
+std::vector<std::string> LeaseManager::lease_names() const {
+  std::vector<std::string> names;
+  names.reserve(leases_.size());
+  for (const auto& [name, lease] : leases_) names.push_back(name);
+  return names;
+}
+
+}  // namespace sgxo::orch

@@ -1,0 +1,102 @@
+// Lease-based leader election, the Kubernetes coordination.k8s.io model:
+// a named lease is held by at most one identity at a time; the holder
+// renews it every cycle and any candidate may take it over once the TTL
+// has elapsed without a renewal. Expiry is evaluated lazily against the
+// simulation clock — no timers, so acquisition attempts are ordinary
+// deterministic events and a crashed holder simply stops renewing.
+//
+// The manager also carries the chaos surfaces of the HA harness: a
+// forced expiry (`expire`, the lease_expiry fault) and a split-brain
+// window (`set_split_brain`) during which every acquisition attempt is
+// granted — deliberately violating mutual exclusion so tests can prove
+// the conditional-bind and admission-guard layers hold the EPC invariant
+// even with two live leaders.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/simulation.hpp"
+
+namespace sgxo::orch {
+
+/// One leadership change, for `orch::describe` and post-mortems. A renewal
+/// by the current holder is not a transition.
+struct LeaseTransition {
+  TimePoint time;
+  std::string lease;
+  /// Previous holder; empty when the lease was unheld or expired.
+  std::string from;
+  /// New holder; empty for a forced expiry or an explicit release.
+  std::string to;
+};
+
+class LeaseManager {
+ public:
+  explicit LeaseManager(sim::Simulation& sim);
+
+  LeaseManager(const LeaseManager&) = delete;
+  LeaseManager& operator=(const LeaseManager&) = delete;
+
+  /// Attempts to acquire (or renew) `lease` for `holder` with the given
+  /// TTL. Succeeds when the lease is unheld, expired, or already held by
+  /// `holder`; a grant always resets the expiry to now + ttl. During a
+  /// split-brain window every attempt succeeds, but only legitimate
+  /// grants update the recorded holder.
+  bool try_acquire(const std::string& lease, const std::string& holder,
+                   Duration ttl);
+
+  /// Voluntarily gives the lease up (clean shutdown). No-op unless
+  /// `holder` actually holds it.
+  void release(const std::string& lease, const std::string& holder);
+
+  /// The current holder; nullopt when the lease is unheld or its TTL has
+  /// lapsed (a crashed holder is indistinguishable from a released one).
+  [[nodiscard]] std::optional<std::string> holder(
+      const std::string& lease) const;
+  [[nodiscard]] std::optional<TimePoint> expiry(
+      const std::string& lease) const;
+
+  // ---- fault surfaces -------------------------------------------------------
+  /// Force-expires the lease immediately (lease_expiry fault): the holder
+  /// loses leadership and the next acquisition attempt — by anyone — wins.
+  void expire(const std::string& lease);
+  /// Split-brain window: while on, try_acquire grants every caller.
+  void set_split_brain(bool on);
+  [[nodiscard]] bool split_brain() const { return split_brain_; }
+  /// Grants handed out by the split-brain override that normal rules
+  /// would have denied.
+  [[nodiscard]] std::uint64_t split_grants() const { return split_grants_; }
+
+  // ---- observability --------------------------------------------------------
+  /// Every leadership change in order (acquisitions by a new holder,
+  /// forced expiries, releases — not renewals).
+  [[nodiscard]] const std::vector<LeaseTransition>& transitions() const {
+    return transitions_;
+  }
+  /// Leadership changes of one lease.
+  [[nodiscard]] std::uint64_t transition_count(const std::string& lease) const;
+  /// Every lease name ever created, in name order.
+  [[nodiscard]] std::vector<std::string> lease_names() const;
+
+ private:
+  struct Lease {
+    std::string holder;
+    TimePoint expires;
+  };
+
+  void record_transition(const std::string& lease, std::string from,
+                         std::string to);
+
+  sim::Simulation* sim_;
+  std::map<std::string, Lease> leases_;
+  std::vector<LeaseTransition> transitions_;
+  bool split_brain_ = false;
+  std::uint64_t split_grants_ = 0;
+};
+
+}  // namespace sgxo::orch

@@ -103,6 +103,15 @@ void PodRestarter::maybe_restart(const cluster::PodName& pod) {
 bool PodRestarter::restart(const PodRecord& record) {
   cluster::PodSpec retry = record.spec;
   retry.name = record.spec.name + "-retry";
+  // Idempotence across controller incarnations: a replica elected (or a
+  // process restarted) after another instance already resubmitted this pod
+  // finds the retry in the ApiServer and must adopt it, not submit a
+  // duplicate — submit would abort on the name collision.
+  if (api_->has_pod(retry.name)) {
+    handled_.emplace(record.spec.name, retry.name);
+    retries_.erase(record.spec.name);
+    return false;
+  }
   // The retry must not chase the dead node.
   retry.node_selector.clear();
   try {

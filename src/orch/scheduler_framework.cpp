@@ -37,6 +37,10 @@ Scheduler::Scheduler(sim::Simulation& sim, ApiServer& api, std::string name,
 
 Scheduler::~Scheduler() { stop(); }
 
+void Scheduler::set_identity(std::string identity) {
+  identity_ = std::move(identity);
+}
+
 void Scheduler::start() {
   if (timer_.valid()) return;
   timer_ = sim_->schedule_every(period_, period_, [this] { run_once(); });
@@ -47,6 +51,60 @@ void Scheduler::stop() {
     sim_->cancel(timer_);
     timer_ = sim::EventId{};
   }
+}
+
+void Scheduler::enable_leader_election(std::string lease, Duration ttl) {
+  SGXO_CHECK_MSG(!lease.empty(), "leader lease needs a name");
+  SGXO_CHECK_MSG(ttl > period_,
+                 "lease TTL must exceed the scheduling period, or the "
+                 "leader lapses between its own renewals");
+  lease_ = std::move(lease);
+  lease_ttl_ = ttl;
+}
+
+void Scheduler::crash() {
+  stop();
+  crashed_ = true;
+  leading_ = false;
+  // The lease is NOT released: a crash-stop cannot run cleanup. Standbys
+  // take over once the TTL lapses.
+}
+
+void Scheduler::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  // A reborn replica trusts nothing it cached; the pending queue and node
+  // commitments are re-read from the ApiServer every cycle anyway, and
+  // the backoff clocks of its previous life are meaningless now.
+  backoffs_.clear();
+  leading_ = false;
+  start();
+}
+
+void Scheduler::on_elected() {
+  // A new leader must not inherit backoff timers from its standby past
+  // (or a previous leadership stint): they were armed against another
+  // incarnation's bind failures. Rebuild from a clean slate — the pods
+  // themselves are durable in the ApiServer's pending queue.
+  backoffs_.clear();
+}
+
+Scheduler::Health Scheduler::health() const {
+  Health health;
+  health.name = name_;
+  health.identity = identity();
+  health.election_enabled = leader_election_enabled();
+  health.leading = leading_;
+  health.crashed = crashed_;
+  health.cycles = cycles_;
+  health.standby_cycles = standby_cycles_;
+  health.elections = elections_;
+  health.bound = bound_;
+  health.bind_conflicts = bind_conflicts_;
+  health.guard_rejections = guard_rejections_;
+  health.backoff_skips = backoff_skips_;
+  health.degraded_cycles = degraded_cycles();
+  return health;
 }
 
 void Scheduler::set_bind_backoff(Duration base, Duration cap) {
@@ -81,6 +139,23 @@ void Scheduler::prune_backoffs() {
 }
 
 std::size_t Scheduler::run_once() {
+  if (crashed_) return 0;
+
+  // Leader election: renew (or contest) the lease before doing any work.
+  // A standby's cycle costs one lease lookup and nothing else.
+  if (leader_election_enabled()) {
+    if (!api_->leases().try_acquire(lease_, identity(), lease_ttl_)) {
+      leading_ = false;
+      ++standby_cycles_;
+      return 0;
+    }
+    if (!leading_) {
+      leading_ = true;
+      ++elections_;
+      on_elected();
+    }
+  }
+
   ++cycles_;
   std::vector<NodeView> views = collect_views();
   std::size_t bound_this_cycle = 0;
@@ -90,10 +165,26 @@ std::size_t Scheduler::run_once() {
   // fit nowhere right now stay pending without blocking younger ones
   // (Kubernetes semantics). list_pods serves the maintained pending-queue
   // index in scheduling order — no store scan, no per-pod lookup.
+  //
+  // The cycle works on a snapshot: record pointers plus the resource
+  // version each pod had when the cycle started. Binds are conditional on
+  // that version, so anything that mutates a pod mid-cycle — a watch
+  // callback fired by an earlier bind, another leader during a
+  // split-brain window — turns this scheduler's attempt into a clean
+  // conflict instead of a double placement.
   PodFilter filter;
   filter.phase = cluster::PodPhase::kPending;
   filter.scheduler = name_;
+  struct PendingSnapshot {
+    const PodRecord* record;
+    std::uint64_t version;
+  };
+  std::vector<PendingSnapshot> snapshot;
   for (const PodRecord* record : api_->list_pods(filter)) {
+    snapshot.push_back(PendingSnapshot{record, record->resource_version});
+  }
+  for (const PendingSnapshot& pending : snapshot) {
+    const PodRecord* record = pending.record;
     const cluster::PodName& pod_name = record->spec.name;
     const cluster::PodSpec& spec = record->spec;
 
@@ -128,7 +219,31 @@ std::size_t Scheduler::run_once() {
       continue;
     }
 
-    api_->bind(pod_name, *chosen);
+    const ApiServer::BindOutcome outcome =
+        api_->try_bind(pod_name, *chosen, pending.version);
+    if (outcome == ApiServer::BindOutcome::kStaleVersion ||
+        outcome == ApiServer::BindOutcome::kNotPending) {
+      // Lost the race: the pod changed (or was taken) since the cycle's
+      // snapshot. It stays wherever the winner put it; if still pending
+      // it is re-enqueued for the next cycle, without a backoff penalty.
+      ++bind_conflicts_;
+      continue;
+    }
+    if (outcome == ApiServer::BindOutcome::kAdmissionRejected) {
+      // The kubelet's live commitments disagree with this cycle's view —
+      // the split-brain safety net. Back the pod off like any other
+      // failed placement; the view is rebuilt next cycle.
+      ++guard_rejections_;
+      note_bind_failure(pod_name);
+      if (strict_fcfs_) break;
+      continue;
+    }
+    if (outcome == ApiServer::BindOutcome::kNodeUnavailable) {
+      // The node died between view collection and bind.
+      note_bind_failure(pod_name);
+      if (strict_fcfs_) break;
+      continue;
+    }
     backoffs_.erase(pod_name);
     ++bound_this_cycle;
 

@@ -6,6 +6,18 @@
 // infeasible job-node combinations (hardware compatibility, saturation),
 // let the concrete placement policy pick a node, and bind. Pods that fit
 // nowhere stay in the persistent pending queue for the next cycle.
+//
+// High availability: N replicas sharing one scheduler *name* (they drain
+// the same pending bucket) but carrying distinct *identities* can run
+// with lease-based leader election (enable_leader_election). Every cycle
+// first tries to acquire/renew the named leader lease on the ApiServer's
+// LeaseManager; non-holders are hot standbys whose cycles are no-ops. A
+// crashed leader simply stops renewing, so a standby takes over within
+// one lease TTL plus one period. Binds are conditional (resource-version
+// CAS + kubelet admission guard), so even two live leaders — a deliberate
+// split-brain window — cannot double-place a pod or over-commit the EPC.
+// On every election the new leader discards inherited in-memory state
+// (bind-backoff timers) and rebuilds its view from the ApiServer.
 #pragma once
 
 #include <map>
@@ -71,9 +83,47 @@ class Scheduler {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Duration period() const { return period_; }
 
+  /// Replica identity for leader election; defaults to the scheduler
+  /// name. Replicas share a name but must carry distinct identities.
+  void set_identity(std::string identity);
+  [[nodiscard]] const std::string& identity() const {
+    return identity_.empty() ? name_ : identity_;
+  }
+
   /// Starts the periodic scheduling loop (idempotent).
   void start();
   void stop();
+
+  // ---- leader election ------------------------------------------------------
+  /// Runs this replica under the named leader lease: each cycle renews or
+  /// tries to acquire `lease` with `ttl`; while another identity holds it
+  /// the cycle is a standby no-op. `ttl` must exceed the period, or the
+  /// leader would lapse between its own renewals.
+  void enable_leader_election(std::string lease, Duration ttl);
+  [[nodiscard]] bool leader_election_enabled() const {
+    return !lease_.empty();
+  }
+  [[nodiscard]] const std::string& lease() const { return lease_; }
+  /// True while this replica believes it holds the lease (during a
+  /// split-brain window more than one replica may believe so).
+  [[nodiscard]] bool leading() const { return leading_; }
+  /// Standby → leader transitions of this replica.
+  [[nodiscard]] std::uint64_t elections() const { return elections_; }
+  /// Cycles skipped because another replica held the lease.
+  [[nodiscard]] std::uint64_t standby_cycles() const {
+    return standby_cycles_;
+  }
+
+  // ---- crash surface (fault injection) --------------------------------------
+  /// Crash-stop: the loop halts and the lease is deliberately NOT
+  /// released — standbys must wait out the TTL, as with a real process
+  /// kill. Scheduled work already bound stays bound.
+  void crash();
+  /// Restarts a crashed replica. It rejoins as a standby with no memory
+  /// of its previous life: backoff timers are dropped and the pending
+  /// view is rebuilt from the ApiServer on its next election.
+  void restart();
+  [[nodiscard]] bool crashed() const { return crashed_; }
 
   /// Strict FCFS blocks the whole queue behind the oldest unschedulable
   /// pod (classic batch semantics); the default skips it and lets younger
@@ -94,11 +144,45 @@ class Scheduler {
   /// Placement attempts skipped because the pod was still backing off.
   [[nodiscard]] std::uint64_t backoff_skips() const { return backoff_skips_; }
 
-  /// One scheduling cycle; returns the number of pods bound.
+  /// One scheduling cycle; returns the number of pods bound. With leader
+  /// election enabled a non-leading replica's cycle is a standby no-op.
   std::size_t run_once();
 
   [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
   [[nodiscard]] std::uint64_t total_bound() const { return bound_; }
+  /// Conditional binds this replica lost (stale version / pod taken by
+  /// another scheduler) — each loser leaves the pod pending, re-enqueued
+  /// for its next cycle.
+  [[nodiscard]] std::uint64_t bind_conflicts() const {
+    return bind_conflicts_;
+  }
+  /// Binds rejected by the kubelet-side EPC admission guard.
+  [[nodiscard]] std::uint64_t guard_rejections() const {
+    return guard_rejections_;
+  }
+  /// Cycles that fell back from measured usage to declared requests;
+  /// meaningful for metrics-driven schedulers (base schedulers never
+  /// degrade).
+  [[nodiscard]] virtual std::uint64_t degraded_cycles() const { return 0; }
+
+  /// Control-plane health snapshot, the raw material of
+  /// orch::describe_control_plane.
+  struct Health {
+    std::string name;
+    std::string identity;
+    bool election_enabled = false;
+    bool leading = false;
+    bool crashed = false;
+    std::uint64_t cycles = 0;
+    std::uint64_t standby_cycles = 0;
+    std::uint64_t elections = 0;
+    std::uint64_t bound = 0;
+    std::uint64_t bind_conflicts = 0;
+    std::uint64_t guard_rejections = 0;
+    std::uint64_t backoff_skips = 0;
+    std::uint64_t degraded_cycles = 0;
+  };
+  [[nodiscard]] Health health() const;
 
  protected:
   /// Builds this cycle's per-node views (capacities + usage estimates).
@@ -121,6 +205,12 @@ class Scheduler {
     (void)all;
   }
 
+  /// Called when this replica transitions standby → leader. The base
+  /// clears every bind-backoff timer: a new leader must neither inherit
+  /// another incarnation's backoffs nor skip pods that were backing off
+  /// under the previous leader's clock. Overrides must call the base.
+  virtual void on_elected();
+
   [[nodiscard]] ApiServer& api() { return *api_; }
   [[nodiscard]] sim::Simulation& sim() { return *sim_; }
 
@@ -137,6 +227,7 @@ class Scheduler {
   sim::Simulation* sim_;
   ApiServer* api_;
   std::string name_;
+  std::string identity_;  // empty = name_
   Duration period_;
   sim::EventId timer_;
   bool strict_fcfs_ = false;
@@ -146,6 +237,15 @@ class Scheduler {
   std::uint64_t backoff_skips_ = 0;
   std::uint64_t cycles_ = 0;
   std::uint64_t bound_ = 0;
+  // Leader election / crash state.
+  std::string lease_;  // empty = election disabled
+  Duration lease_ttl_{};
+  bool leading_ = false;
+  bool crashed_ = false;
+  std::uint64_t elections_ = 0;
+  std::uint64_t standby_cycles_ = 0;
+  std::uint64_t bind_conflicts_ = 0;
+  std::uint64_t guard_rejections_ = 0;
 };
 
 }  // namespace sgxo::orch

@@ -22,6 +22,12 @@ const char* to_string(FaultKind kind) {
       return "tsdb-stale-reads";
     case FaultKind::kWatchDisconnect:
       return "watch-disconnect";
+    case FaultKind::kSchedulerCrash:
+      return "scheduler-crash";
+    case FaultKind::kLeaseExpiry:
+      return "lease-expiry";
+    case FaultKind::kSplitBrainWindow:
+      return "split-brain-window";
   }
   return "unknown";
 }
@@ -102,6 +108,31 @@ FaultPlan random_plan(Rng& rng, const RandomPlanConfig& config) {
         fault.delay = Duration::micros(
             rng.uniform_int(1, std::max<std::int64_t>(
                                    config.max_delay.micros_count(), 1)));
+        break;
+      case FaultKind::kSchedulerCrash:
+        if (config.scheduler_targets.empty()) {
+          fault.kind = FaultKind::kHeapsterDropout;
+          break;
+        }
+        fault.target = config.scheduler_targets[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(
+                                   config.scheduler_targets.size()) -
+                                   1))];
+        break;
+      case FaultKind::kLeaseExpiry:
+        if (config.lease_targets.empty()) {
+          fault.kind = FaultKind::kHeapsterDropout;
+          break;
+        }
+        fault.target = config.lease_targets[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(
+                                   config.lease_targets.size()) -
+                                   1))];
+        break;
+      case FaultKind::kSplitBrainWindow:
+        if (config.lease_targets.empty()) {
+          fault.kind = FaultKind::kHeapsterDropout;
+        }
         break;
       default:
         break;

@@ -45,10 +45,21 @@ enum class FaultKind {
   kTsdbStaleReads,
   /// An informer watch channel drops; the client re-lists on heal.
   kWatchDisconnect,
+  /// The scheduler replica with identity `target` crash-stops (its lease
+  /// is NOT released); it restarts as a standby when the fault heals.
+  kSchedulerCrash,
+  /// The lease named `target` is forcibly expired at activation — an
+  /// instantaneous event (the duration only delays the plan horizon), a
+  /// stand-in for clock skew / an etcd leader hiccup dropping the lease.
+  kLeaseExpiry,
+  /// While active, the LeaseManager grants every acquisition — every
+  /// contending replica believes it leads. The window where conditional
+  /// binds and the kubelet admission guard are the only safety net.
+  kSplitBrainWindow,
 };
 
 /// Number of FaultKind values (random_plan draws uniformly over them).
-inline constexpr int kFaultKindCount = 7;
+inline constexpr int kFaultKindCount = 10;
 
 [[nodiscard]] const char* to_string(FaultKind kind);
 
@@ -91,6 +102,11 @@ struct RandomPlanConfig {
   /// dropouts only land on the SGX subset a harness passes here).
   std::vector<std::string> crash_targets;
   std::vector<std::string> probe_targets;
+  /// Scheduler replica identities eligible for kSchedulerCrash and lease
+  /// names eligible for kLeaseExpiry. Empty lists downgrade those draws
+  /// (like crash_targets) so non-HA harness configs keep their plans.
+  std::vector<std::string> scheduler_targets;
+  std::vector<std::string> lease_targets;
 };
 
 /// Draws a randomized, fully-healing fault plan. Every draw comes from

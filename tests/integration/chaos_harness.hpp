@@ -34,6 +34,16 @@ struct ScenarioConfig {
   std::size_t min_faults = 1;
   std::size_t max_faults = 6;
   Duration deadline = Duration::hours(24);
+  /// Scheduler replicas contending for the leader lease; 1 disables
+  /// leader election (the pre-HA control plane).
+  std::size_t scheduler_replicas = 1;
+  /// Adds the control-plane fault kinds (scheduler-crash, lease-expiry,
+  /// split-brain-window) to the random plan's draw targets. Only
+  /// meaningful with scheduler_replicas > 1.
+  bool ha_faults = false;
+  /// Leader-lease TTL; a dead leader is replaced within one TTL plus one
+  /// scheduling period.
+  Duration lease_ttl = Duration::seconds(15);
 };
 
 struct ScenarioResult {
@@ -47,6 +57,13 @@ struct ScenarioResult {
   std::uint64_t backoff_skips = 0;
   std::uint64_t disconnects = 0;
   std::uint64_t resyncs = 0;
+  // Control-plane HA counters (zero when scheduler_replicas == 1).
+  std::uint64_t elections = 0;
+  std::uint64_t standby_cycles = 0;
+  std::uint64_t bind_conflicts = 0;    // ApiServer-wide CAS losses
+  std::uint64_t guard_rejections = 0;  // kubelet admission-guard saves
+  std::uint64_t lease_transitions = 0;
+  std::uint64_t split_grants = 0;
   /// Invariant breaches observed during or after the run (empty = pass).
   std::vector<std::string> violations;
   /// The armed plan, for reproduction messages.
@@ -65,10 +82,23 @@ inline ScenarioResult run_scenario(std::uint64_t seed,
   Rng rng{seed};
 
   SimulatedCluster cluster;
-  core::SgxSchedulerConfig sched_config;
-  sched_config.policy = core::PlacementPolicy::kBinpack;
-  auto& scheduler = cluster.add_sgx_scheduler(std::move(sched_config));
-  scheduler.set_bind_backoff(Duration::seconds(5), Duration::minutes(2));
+  const std::size_t replica_count =
+      std::max<std::size_t>(1, config.scheduler_replicas);
+  std::vector<core::SgxAwareScheduler*> replicas;
+  for (std::size_t i = 0; i < replica_count; ++i) {
+    core::SgxSchedulerConfig sched_config;
+    sched_config.policy = core::PlacementPolicy::kBinpack;
+    if (replica_count > 1) {
+      sched_config.identity = "sgx-binpack-" + std::to_string(i);
+    }
+    auto& replica = cluster.add_sgx_scheduler(std::move(sched_config));
+    replica.set_bind_backoff(Duration::seconds(5), Duration::minutes(2));
+    if (replica_count > 1) {
+      replica.enable_leader_election("scheduler-leader", config.lease_ttl);
+    }
+    replicas.push_back(&replica);
+  }
+  auto& scheduler = *replicas.front();
   cluster.api().set_default_scheduler(scheduler.name());
   cluster.start_monitoring();
 
@@ -104,6 +134,12 @@ inline ScenarioResult run_scenario(std::uint64_t seed,
   plan_config.max_faults = config.max_faults;
   plan_config.crash_targets = {"node-1", "node-2", "sgx-1", "sgx-2"};
   plan_config.probe_targets = {"sgx-1", "sgx-2"};
+  if (config.ha_faults && replica_count > 1) {
+    for (core::SgxAwareScheduler* replica : replicas) {
+      plan_config.scheduler_targets.push_back(replica->identity());
+    }
+    plan_config.lease_targets = {"scheduler-leader"};
+  }
   Rng plan_rng = rng.split();
   const sim::FaultPlan plan = sim::random_plan(plan_rng, plan_config);
   result.plan = plan.describe();
@@ -158,8 +194,16 @@ inline ScenarioResult run_scenario(std::uint64_t seed,
 
   result.injected = injector.injected();
   result.healed = injector.healed();
-  result.degraded_cycles = scheduler.degraded_cycles();
-  result.backoff_skips = scheduler.backoff_skips();
+  for (core::SgxAwareScheduler* replica : replicas) {
+    result.degraded_cycles += replica->degraded_cycles();
+    result.backoff_skips += replica->backoff_skips();
+    result.elections += replica->elections();
+    result.standby_cycles += replica->standby_cycles();
+  }
+  result.bind_conflicts = cluster.api().bind_conflicts();
+  result.guard_rejections = cluster.api().guard_rejections();
+  result.lease_transitions = cluster.api().leases().transitions().size();
+  result.split_grants = cluster.api().leases().split_grants();
   result.disconnects = restarter.disconnects();
   result.resyncs = restarter.resyncs();
 

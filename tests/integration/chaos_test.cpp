@@ -248,6 +248,29 @@ TEST(ChaosDeterminism, SameSeedProducesBitIdenticalTraces) {
   }
 }
 
+TEST(ChaosDeterminism, HaScenarioWithSameSeedIsBitIdentical) {
+  // Same check, with the HA control plane: three replicas under leader
+  // election and the control-plane fault kinds (scheduler-crash,
+  // lease-expiry, split-brain-window) in the plan. Crash-elect-rebind
+  // sequences must replay exactly.
+  chaos::ScenarioConfig config;
+  config.scheduler_replicas = 3;
+  config.ha_faults = true;
+  const chaos::ScenarioResult a = chaos::run_scenario(42, config);
+  const chaos::ScenarioResult b = chaos::run_scenario(42, config);
+  EXPECT_EQ(a.plan, b.plan);
+  EXPECT_EQ(a.elections, b.elections);
+  EXPECT_EQ(a.standby_cycles, b.standby_cycles);
+  EXPECT_EQ(a.bind_conflicts, b.bind_conflicts);
+  EXPECT_EQ(a.guard_rejections, b.guard_rejections);
+  EXPECT_EQ(a.lease_transitions, b.lease_transitions);
+  EXPECT_EQ(a.split_grants, b.split_grants);
+  ASSERT_EQ(a.event_log.size(), b.event_log.size());
+  for (std::size_t i = 0; i < a.event_log.size(); ++i) {
+    ASSERT_EQ(a.event_log[i], b.event_log[i]) << "first divergence at " << i;
+  }
+}
+
 TEST(ChaosDeterminism, DifferentSeedsProduceDifferentPlans) {
   Rng rng_a{7};
   Rng rng_b{8};
@@ -267,6 +290,22 @@ TEST(ChaosSweep, SmokeTwentyFiveSeeds) {
       ADD_FAILURE() << "seed " << seed << ": " << violation
                     << "\n  plan: " << result.plan;
     }
+  }
+}
+
+TEST(ChaosSweep, HaSmokeTenSeeds) {
+  // The 500-seed HA sweep lives in chaos_ha_sweep_test.cpp (label: ha);
+  // this keeps a slice of it in the default suite.
+  chaos::ScenarioConfig config;
+  config.scheduler_replicas = 3;
+  config.ha_faults = true;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const chaos::ScenarioResult result = chaos::run_scenario(seed, config);
+    for (const std::string& violation : result.violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << violation
+                    << "\n  plan: " << result.plan;
+    }
+    EXPECT_GT(result.elections, 0u) << "seed " << seed;
   }
 }
 

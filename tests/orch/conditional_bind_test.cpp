@@ -1,0 +1,179 @@
+// Conditional (compare-and-swap) bind tests: resource versions, the four
+// rejection outcomes, and the HA race the CAS exists for — two scheduler
+// replicas acting on the same snapshot, racing for the last EPC pages of
+// a node. Exactly one wins; the loser's pod is neither lost nor
+// duplicated.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "orch/api_server.hpp"
+
+namespace sgxo::orch {
+namespace {
+
+using namespace sgxo::literals;
+
+cluster::MachineSpec machine(const std::string& name,
+                             std::optional<Pages> epc = std::nullopt,
+                             bool master = false) {
+  cluster::MachineSpec spec;
+  spec.name = name;
+  spec.cpu_cores = 4;
+  spec.memory = 64_GiB;
+  if (epc.has_value()) spec.epc = sgx::EpcConfig::with_usable(epc->as_bytes());
+  spec.is_master = master;
+  return spec;
+}
+
+cluster::PodSpec sgx_pod(const std::string& name, Pages pages) {
+  cluster::PodBehavior behavior;
+  behavior.sgx = true;
+  behavior.actual_usage = pages.as_bytes();
+  behavior.duration = Duration::hours(1);
+  return cluster::make_stressor_pod(name, {0_B, pages}, {0_B, pages},
+                                    behavior);
+}
+
+/// One SGX worker with 1000 usable EPC pages, one master.
+class ConditionalBindFixture : public ::testing::Test {
+ protected:
+  ConditionalBindFixture()
+      : api_(sim_),
+        sgx_node_(machine("sgx-1", Pages{1000})),
+        master_(machine("master", std::nullopt, /*master=*/true)),
+        kubelet_sgx_(sim_, sgx_node_, perf_, registry_, api_),
+        kubelet_m_(sim_, master_, perf_, registry_, api_) {
+    api_.register_node(sgx_node_, kubelet_sgx_);
+    api_.register_node(master_, kubelet_m_);
+  }
+
+  [[nodiscard]] std::uint64_t version(const std::string& pod) const {
+    return api_.pod(pod).resource_version;
+  }
+
+  sim::Simulation sim_;
+  ApiServer api_;
+  sgx::PerfModel perf_;
+  cluster::ImageRegistry registry_;
+  cluster::Node sgx_node_;
+  cluster::Node master_;
+  cluster::Kubelet kubelet_sgx_;
+  cluster::Kubelet kubelet_m_;
+};
+
+TEST_F(ConditionalBindFixture, BindBumpsTheResourceVersion) {
+  api_.submit(sgx_pod("p", Pages{100}));
+  const std::uint64_t v0 = version("p");
+  EXPECT_EQ(api_.try_bind("p", "sgx-1", v0), ApiServer::BindOutcome::kBound);
+  EXPECT_GT(version("p"), v0);
+  EXPECT_EQ(api_.pod("p").phase, cluster::PodPhase::kBound);
+  EXPECT_EQ(api_.bind_conflicts(), 0u);
+}
+
+TEST_F(ConditionalBindFixture, StaleVersionFailsCleanly) {
+  api_.submit(sgx_pod("p", Pages{100}));
+  const std::uint64_t v0 = version("p");
+  EXPECT_EQ(api_.try_bind("p", "sgx-1", v0 + 1),
+            ApiServer::BindOutcome::kStaleVersion);
+  // Nothing changed: still pending, still queued, version untouched.
+  EXPECT_EQ(api_.pod("p").phase, cluster::PodPhase::kPending);
+  EXPECT_EQ(version("p"), v0);
+  EXPECT_EQ(api_.pending_pods(api_.default_scheduler()).size(), 1u);
+  EXPECT_EQ(api_.bind_conflicts(), 1u);
+}
+
+TEST_F(ConditionalBindFixture, EvictionInvalidatesOldSnapshots) {
+  api_.submit(sgx_pod("p", Pages{100}));
+  api_.bind("p", "sgx-1");
+  api_.evict("p", "test");
+  // The pod is pending again, but any snapshot taken before the eviction
+  // carries a dead version.
+  const std::uint64_t current = version("p");
+  EXPECT_EQ(api_.try_bind("p", "sgx-1", current - 1),
+            ApiServer::BindOutcome::kStaleVersion);
+  EXPECT_EQ(api_.try_bind("p", "sgx-1", current),
+            ApiServer::BindOutcome::kBound);
+}
+
+TEST_F(ConditionalBindFixture, UnknownAndMasterNodesAreUnavailable) {
+  api_.submit(sgx_pod("p", Pages{100}));
+  const std::uint64_t v0 = version("p");
+  EXPECT_EQ(api_.try_bind("p", "ghost", v0),
+            ApiServer::BindOutcome::kNodeUnavailable);
+  EXPECT_EQ(api_.try_bind("p", "master", v0),
+            ApiServer::BindOutcome::kNodeUnavailable);
+  api_.fail_node("sgx-1");
+  EXPECT_EQ(api_.try_bind("p", "sgx-1", v0),
+            ApiServer::BindOutcome::kNodeUnavailable);
+  EXPECT_EQ(api_.pod("p").phase, cluster::PodPhase::kPending);
+}
+
+TEST_F(ConditionalBindFixture, TwoReplicasRacingForTheSamePod) {
+  api_.submit(sgx_pod("p", Pages{100}));
+  // Both replicas snapshot the same pending queue.
+  const std::uint64_t snapshot = version("p");
+  // Replica A wins the race.
+  EXPECT_EQ(api_.try_bind("p", "sgx-1", snapshot),
+            ApiServer::BindOutcome::kBound);
+  // Replica B's attempt on the same snapshot is a clean conflict: the pod
+  // stays exactly where A put it.
+  EXPECT_EQ(api_.try_bind("p", "sgx-1", snapshot),
+            ApiServer::BindOutcome::kNotPending);
+  EXPECT_EQ(api_.pod("p").node, "sgx-1");
+  EXPECT_EQ(api_.bind_conflicts(), 1u);
+  EXPECT_EQ(api_.assigned_pods("sgx-1").size(), 1u);
+}
+
+TEST_F(ConditionalBindFixture, RaceForTheLastEpcPagesAdmitsExactlyOne) {
+  // Each pod fits alone (600 of 1000 pages); together they over-commit.
+  api_.submit(sgx_pod("a", Pages{600}));
+  api_.submit(sgx_pod("b", Pages{600}));
+  const std::uint64_t va = version("a");
+  const std::uint64_t vb = version("b");
+
+  // Replica A binds pod a — the CAS passes and the kubelet admits it.
+  EXPECT_EQ(api_.try_bind("a", "sgx-1", va), ApiServer::BindOutcome::kBound);
+
+  // Replica B, leading during a split-brain window and acting on a view
+  // that predates A's bind, tries to put pod b on the same node. The pod
+  // CAS passes (b itself is unchanged) — only the kubelet admission guard
+  // stands between the stale view and an EPC over-commit.
+  EXPECT_EQ(api_.try_bind("b", "sgx-1", vb),
+            ApiServer::BindOutcome::kAdmissionRejected);
+  EXPECT_EQ(api_.guard_rejections(), 1u);
+
+  // The loser re-enqueues without duplication: still pending, exactly one
+  // queue entry, version untouched, and the rejection is in the event log.
+  EXPECT_EQ(api_.pod("b").phase, cluster::PodPhase::kPending);
+  const auto pending = api_.pending_pods(api_.default_scheduler());
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0], "b");
+  EXPECT_EQ(version("b"), vb);
+  bool rejection_logged = false;
+  for (const Event& event : api_.events()) {
+    if (event.pod == "b" &&
+        event.message.find("BindRejected") != std::string::npos) {
+      rejection_logged = true;
+    }
+  }
+  EXPECT_TRUE(rejection_logged);
+
+  // Once a is gone, b binds normally — no lost pod.
+  api_.evict("a", "make room");
+  EXPECT_EQ(api_.try_bind("b", "sgx-1", version("b")),
+            ApiServer::BindOutcome::kBound);
+}
+
+TEST_F(ConditionalBindFixture, StrictBindStillThrowsOnContractViolations) {
+  api_.submit(sgx_pod("p", Pages{100}));
+  EXPECT_THROW(api_.bind("p", "ghost"), ContractViolation);
+  EXPECT_THROW(api_.bind("p", "master"), ContractViolation);
+  api_.bind("p", "sgx-1");
+  EXPECT_THROW(api_.bind("p", "sgx-1"), ContractViolation);
+  // Guard rejection surfaces as a contract violation on the strict path.
+  api_.submit(sgx_pod("q", Pages{950}));
+  EXPECT_THROW(api_.bind("q", "sgx-1"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgxo::orch

@@ -1,0 +1,111 @@
+// LeaseManager unit tests: the Kubernetes coordination.k8s.io lease model
+// (acquire, renew, TTL takeover, clean release), the fault surfaces
+// (forced expiry, split-brain grants) and the transition history that
+// orch::describe renders.
+#include "orch/lease.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/simulation.hpp"
+
+namespace sgxo::orch {
+namespace {
+
+constexpr Duration kTtl = Duration::seconds(15);
+
+class LeaseFixture : public ::testing::Test {
+ protected:
+  LeaseFixture() : leases_(sim_) {}
+
+  void advance(Duration d) { sim_.run_until(sim_.now() + d); }
+
+  sim::Simulation sim_;
+  LeaseManager leases_;
+};
+
+TEST_F(LeaseFixture, FirstAcquirerWinsOthersAreDenied) {
+  EXPECT_TRUE(leases_.try_acquire("leader", "replica-0", kTtl));
+  EXPECT_FALSE(leases_.try_acquire("leader", "replica-1", kTtl));
+  EXPECT_EQ(leases_.holder("leader"), "replica-0");
+  EXPECT_EQ(leases_.expiry("leader"),
+            TimePoint::epoch() + kTtl);
+}
+
+TEST_F(LeaseFixture, HolderRenewsAndPushesExpiryForward) {
+  ASSERT_TRUE(leases_.try_acquire("leader", "replica-0", kTtl));
+  advance(Duration::seconds(10));
+  EXPECT_TRUE(leases_.try_acquire("leader", "replica-0", kTtl));
+  EXPECT_EQ(leases_.expiry("leader"),
+            TimePoint::epoch() + Duration::seconds(10) + kTtl);
+  // Renewals are not leadership changes.
+  EXPECT_EQ(leases_.transition_count("leader"), 1u);
+}
+
+TEST_F(LeaseFixture, LapsedLeaseIsTakenOver) {
+  ASSERT_TRUE(leases_.try_acquire("leader", "replica-0", kTtl));
+  advance(kTtl);  // holder stopped renewing (crash-stop)
+  EXPECT_EQ(leases_.holder("leader"), std::nullopt);
+  EXPECT_TRUE(leases_.try_acquire("leader", "replica-1", kTtl));
+  EXPECT_EQ(leases_.holder("leader"), "replica-1");
+
+  // The takeover is recorded as from-nobody: the old holder had already
+  // lapsed by the time anyone looked.
+  ASSERT_EQ(leases_.transitions().size(), 2u);
+  EXPECT_EQ(leases_.transitions()[1].from, "");
+  EXPECT_EQ(leases_.transitions()[1].to, "replica-1");
+}
+
+TEST_F(LeaseFixture, ReleaseFreesTheLeaseOnlyForItsHolder) {
+  ASSERT_TRUE(leases_.try_acquire("leader", "replica-0", kTtl));
+  leases_.release("leader", "replica-1");  // not the holder: no-op
+  EXPECT_EQ(leases_.holder("leader"), "replica-0");
+  leases_.release("leader", "replica-0");
+  EXPECT_EQ(leases_.holder("leader"), std::nullopt);
+  EXPECT_TRUE(leases_.try_acquire("leader", "replica-1", kTtl));
+}
+
+TEST_F(LeaseFixture, ForcedExpiryDropsTheHolderImmediately) {
+  ASSERT_TRUE(leases_.try_acquire("leader", "replica-0", kTtl));
+  leases_.expire("leader");
+  EXPECT_EQ(leases_.holder("leader"), std::nullopt);
+  EXPECT_TRUE(leases_.try_acquire("leader", "replica-1", kTtl));
+  // Expiring an unheld lease is a no-op, not an error.
+  leases_.expire("ghost");
+  EXPECT_EQ(leases_.transition_count("leader"), 3u);
+}
+
+TEST_F(LeaseFixture, SplitBrainGrantsEveryoneButKeepsTheRealHolder) {
+  ASSERT_TRUE(leases_.try_acquire("leader", "replica-0", kTtl));
+  leases_.set_split_brain(true);
+  EXPECT_TRUE(leases_.try_acquire("leader", "replica-1", kTtl));
+  EXPECT_TRUE(leases_.try_acquire("leader", "replica-2", kTtl));
+  EXPECT_EQ(leases_.split_grants(), 2u);
+  // The recorded holder never changed — the grants were illegitimate.
+  EXPECT_EQ(leases_.holder("leader"), "replica-0");
+  EXPECT_EQ(leases_.transition_count("leader"), 1u);
+
+  leases_.set_split_brain(false);
+  EXPECT_FALSE(leases_.try_acquire("leader", "replica-1", kTtl));
+}
+
+TEST_F(LeaseFixture, IndependentLeasesDoNotInterfere) {
+  EXPECT_TRUE(leases_.try_acquire("scheduler-leader", "s-0", kTtl));
+  EXPECT_TRUE(leases_.try_acquire("restarter-leader", "r-1", kTtl));
+  EXPECT_EQ(leases_.holder("scheduler-leader"), "s-0");
+  EXPECT_EQ(leases_.holder("restarter-leader"), "r-1");
+  const std::vector<std::string> names = leases_.lease_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "restarter-leader");  // name order
+  EXPECT_EQ(names[1], "scheduler-leader");
+}
+
+TEST_F(LeaseFixture, RejectsEmptyNamesAndNonPositiveTtl) {
+  EXPECT_THROW(leases_.try_acquire("", "id", kTtl), ContractViolation);
+  EXPECT_THROW(leases_.try_acquire("leader", "", kTtl), ContractViolation);
+  EXPECT_THROW(leases_.try_acquire("leader", "id", Duration{}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace sgxo::orch
