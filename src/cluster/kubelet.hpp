@@ -60,7 +60,13 @@ class Kubelet {
   /// cached state — is rejected before it can over-commit the EPC.
   /// Deliberately EPC-only: standard memory over-commit is tolerated at
   /// admission, exactly as in Kubernetes.
-  [[nodiscard]] bool can_admit(const PodSpec& spec) const;
+  ///
+  /// `staged_epc` is EPC already promised to earlier entries of an
+  /// in-flight bind batch targeting this node: batch validation charges
+  /// them before anything is applied, so one transaction cannot admit two
+  /// pods into the same last pages.
+  [[nodiscard]] bool can_admit(const PodSpec& spec,
+                               Pages staged_epc = Pages{0}) const;
 
   /// Per-pod standard memory usage, the stats Heapster scrapes.
   struct PodStats {

@@ -21,6 +21,7 @@
 // only the pods that name it (§V-B).
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "core/metrics_view.hpp"
@@ -40,6 +41,11 @@ struct SgxSchedulerConfig {
   /// Replica identity for leader election (HA deployments run N replicas
   /// sharing a name). Empty = the name itself.
   std::string identity;
+  /// Shared-state mode (Omega-style): when set, this replica runs as one
+  /// always-active shard worker of a multi-scheduler fleet — no leader
+  /// lease; binds go out as batched transactions. Mutually exclusive with
+  /// enabling leader election on the instance.
+  std::optional<orch::SharedStateConfig> shared_state;
   /// Priority preemption under contention (extension; the paper's
   /// per-process EPC ioctl exists "to identify processes that should be
   /// preempted", §V-E): a pending pod that fits nowhere may evict

@@ -94,6 +94,29 @@ core::SgxAwareScheduler& SimulatedCluster::add_sgx_scheduler(
   return ref;
 }
 
+std::vector<core::SgxAwareScheduler*> SimulatedCluster::add_shared_state_fleet(
+    std::size_t replicas, core::SgxSchedulerConfig base,
+    orch::SharedStateConfig shard_base) {
+  SGXO_CHECK_MSG(replicas >= 1, "a fleet needs at least one replica");
+  const std::string name = base.name.empty()
+                               ? core::SgxAwareScheduler::default_name(
+                                     base.policy)
+                               : base.name;
+  std::vector<core::SgxAwareScheduler*> fleet;
+  fleet.reserve(replicas);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    core::SgxSchedulerConfig config = base;
+    config.name = name;
+    config.identity = name + "-" + std::to_string(i);
+    orch::SharedStateConfig shard = shard_base;
+    shard.shard = static_cast<std::uint32_t>(i);
+    shard.shard_count = static_cast<std::uint32_t>(replicas);
+    config.shared_state = shard;
+    fleet.push_back(&add_sgx_scheduler(std::move(config)));
+  }
+  return fleet;
+}
+
 orch::DefaultScheduler& SimulatedCluster::add_default_scheduler(
     std::string identity) {
   auto scheduler = std::make_unique<orch::DefaultScheduler>(

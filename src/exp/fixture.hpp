@@ -80,6 +80,15 @@ class SimulatedCluster {
   /// `identity` distinguishes HA replicas sharing the default name.
   orch::DefaultScheduler& add_default_scheduler(std::string identity = {});
 
+  /// Creates and starts an Omega-style shared-state fleet: `replicas`
+  /// always-active SGX-aware schedulers sharing one name, replica i
+  /// draining shard i of `replicas` with identities "<name>-i". `base`
+  /// supplies everything except name/identity/shard (its shard_count is
+  /// overwritten with `replicas`). Returns the replicas in shard order.
+  std::vector<core::SgxAwareScheduler*> add_shared_state_fleet(
+      std::size_t replicas, core::SgxSchedulerConfig base = {},
+      orch::SharedStateConfig shard_base = {});
+
   /// All schedulers this fixture owns, in creation order.
   [[nodiscard]] std::vector<orch::Scheduler*> schedulers();
   /// The scheduler replica with the given identity, or nullptr.

@@ -1,8 +1,10 @@
 #include "orch/api_server.hpp"
 
 #include <algorithm>
+#include <ostream>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/log.hpp"
 
 namespace sgxo::orch {
@@ -31,11 +33,45 @@ bool assigned(cluster::PodPhase phase) {
 
 }  // namespace
 
+std::uint32_t shard_of(const cluster::PodName& pod,
+                       std::uint32_t shard_count) {
+  SGXO_CHECK_MSG(shard_count > 0, "shard_count must be positive");
+  return static_cast<std::uint32_t>(fnv1a(pod) % shard_count);
+}
+
+const char* to_string(ApiServer::BindStatus status) {
+  switch (status) {
+    case ApiServer::BindStatus::kBound:
+      return "Bound";
+    case ApiServer::BindStatus::kStaleVersion:
+      return "StaleVersion";
+    case ApiServer::BindStatus::kNotPending:
+      return "NotPending";
+    case ApiServer::BindStatus::kNodeUnavailable:
+      return "NodeUnavailable";
+    case ApiServer::BindStatus::kAdmissionRejected:
+      return "AdmissionRejected";
+    case ApiServer::BindStatus::kBatchAborted:
+      return "BatchAborted";
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, ApiServer::BindStatus status) {
+  return os << to_string(status);
+}
+
+std::ostream& operator<<(std::ostream& os,
+                         const ApiServer::BindOutcome& outcome) {
+  return os << to_string(outcome.status) << "@v" << outcome.resource_version;
+}
+
 ApiServer::ApiServer(sim::Simulation& sim) : sim_(&sim), leases_(sim) {}
 
 void ApiServer::register_node(cluster::Node& node, cluster::Kubelet& kubelet) {
   SGXO_CHECK_MSG(find_node(node.name()) == nullptr,
                  "node name already registered");
+  node_index_.emplace(node.name(), nodes_.size());
   nodes_.push_back(NodeEntry{&node, &kubelet});
 }
 
@@ -53,10 +89,8 @@ std::vector<ApiServer::NodeEntry> ApiServer::all_nodes() const {
 
 const ApiServer::NodeEntry* ApiServer::find_node(
     const cluster::NodeName& name) const {
-  const auto it = std::find_if(
-      nodes_.begin(), nodes_.end(),
-      [&](const NodeEntry& entry) { return entry.node->name() == name; });
-  return it == nodes_.end() ? nullptr : &*it;
+  const auto it = node_index_.find(name);
+  return it == node_index_.end() ? nullptr : &nodes_[it->second];
 }
 
 void ApiServer::set_quota(const std::string& namespace_name,
@@ -178,6 +212,11 @@ void ApiServer::append_pending(const std::string& bucket,
 
 std::vector<const PodRecord*> ApiServer::list_pods(
     const PodFilter& filter) const {
+  SGXO_CHECK_MSG(!filter.shard.has_value() || filter.shard_count > 0,
+                 "PodFilter.shard requires a positive shard_count");
+  SGXO_CHECK_MSG(!filter.shard.has_value() ||
+                     *filter.shard < filter.shard_count,
+                 "PodFilter.shard out of range");
   const auto matches = [&](const PodRecord& record) {
     if (filter.phase.has_value() && record.phase != *filter.phase) {
       return false;
@@ -196,45 +235,76 @@ std::vector<const PodRecord*> ApiServer::list_pods(
                                      : record.spec.scheduler_name;
       if (owner != *filter.scheduler) return false;
     }
+    if (filter.shard.has_value() &&
+        shard_of(record.spec.name, filter.shard_count) != *filter.shard) {
+      return false;
+    }
     return true;
+  };
+  const auto truncated = [&](std::vector<const PodRecord*>& result) {
+    if (filter.limit > 0 && result.size() > filter.limit) {
+      result.resize(filter.limit);
+    }
+    return std::move(result);
   };
 
   std::vector<const PodRecord*> out;
 
   // Pending pods come from the queue index, already in priority+FCFS
   // order. With a scheduler filter that is at most two buckets (the
-  // scheduler's own and, for the cluster default, the unnamed one) merged
-  // by queue position; without one it is every bucket, merged by sort.
+  // scheduler's own and, for the cluster default, the unnamed one)
+  // streamed as a two-way merge — with a limit, the scan stops as soon as
+  // the limit is full, so a shard pull over a million-pod queue touches
+  // O(limit * shard_count) entries, not the whole queue. Without a
+  // scheduler filter it is every bucket, merged by sort.
   if (filter.phase == cluster::PodPhase::kPending) {
     if (filter.scheduler.has_value()) {
-      std::vector<const PodRecord*> named;
-      append_pending(*filter.scheduler, named);
-      std::vector<const PodRecord*> unnamed;
+      using QueueIt = std::map<QueueKey, const PodRecord*>::const_iterator;
+      QueueIt named_it;
+      QueueIt named_end;
+      QueueIt unnamed_it;
+      QueueIt unnamed_end;
+      if (const auto it = pending_queues_.find(*filter.scheduler);
+          it != pending_queues_.end()) {
+        named_it = it->second.begin();
+        named_end = it->second.end();
+      }
       if (*filter.scheduler == default_scheduler_) {
-        append_pending("", unnamed);
+        if (const auto it = pending_queues_.find("");
+            it != pending_queues_.end()) {
+          unnamed_it = it->second.begin();
+          unnamed_end = it->second.end();
+        }
       }
-      out.reserve(named.size() + unnamed.size());
-      std::merge(named.begin(), named.end(), unnamed.begin(), unnamed.end(),
-                 std::back_inserter(out),
-                 [](const PodRecord* a, const PodRecord* b) {
-                   return QueueKey{a->spec.priority, a->seq} <
-                          QueueKey{b->spec.priority, b->seq};
-                 });
-    } else {
-      for (const auto& [bucket, queue] : pending_queues_) {
-        (void)bucket;
-        for (const auto& [key, record] : queue) out.push_back(record);
+      while (named_it != named_end || unnamed_it != unnamed_end) {
+        if (filter.limit > 0 && out.size() == filter.limit) break;
+        const bool take_named =
+            unnamed_it == unnamed_end ||
+            (named_it != named_end && named_it->first < unnamed_it->first);
+        const PodRecord* record =
+            take_named ? named_it->second : unnamed_it->second;
+        if (take_named) {
+          ++named_it;
+        } else {
+          ++unnamed_it;
+        }
+        if (matches(*record)) out.push_back(record);
       }
-      std::sort(out.begin(), out.end(),
-                [](const PodRecord* a, const PodRecord* b) {
-                  return QueueKey{a->spec.priority, a->seq} <
-                         QueueKey{b->spec.priority, b->seq};
-                });
+      return out;
     }
+    for (const auto& [bucket, queue] : pending_queues_) {
+      (void)bucket;
+      for (const auto& [key, record] : queue) out.push_back(record);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const PodRecord* a, const PodRecord* b) {
+                return QueueKey{a->spec.priority, a->seq} <
+                       QueueKey{b->spec.priority, b->seq};
+              });
     std::erase_if(out, [&](const PodRecord* record) {
       return !matches(*record);
     });
-    return out;
+    return truncated(out);
   }
 
   // Assigned pods come from the node index (pod-name order).
@@ -243,6 +313,7 @@ std::vector<const PodRecord*> ApiServer::list_pods(
     if (it == pods_by_node_.end()) return out;
     out.reserve(it->second.size());
     for (const cluster::PodName& name : it->second) {
+      if (filter.limit > 0 && out.size() == filter.limit) break;
       const PodRecord& record = pods_.at(name);
       if (matches(record)) out.push_back(&record);
     }
@@ -250,8 +321,11 @@ std::vector<const PodRecord*> ApiServer::list_pods(
   }
 
   // Everything else: submission-order scan.
-  out.reserve(submission_order_.size());
+  out.reserve(filter.limit > 0
+                  ? std::min(filter.limit, submission_order_.size())
+                  : submission_order_.size());
   for (const cluster::PodName& name : submission_order_) {
+    if (filter.limit > 0 && out.size() == filter.limit) break;
     const PodRecord& record = pods_.at(name);
     if (matches(record)) out.push_back(&record);
   }
@@ -270,42 +344,131 @@ std::vector<cluster::PodName> ApiServer::pending_pods(
   return out;
 }
 
-ApiServer::BindOutcome ApiServer::try_bind(const cluster::PodName& pod,
-                                           const cluster::NodeName& node,
-                                           std::uint64_t expected_version) {
-  PodRecord& record = mutable_pod(pod);
-  if (record.phase != cluster::PodPhase::kPending) {
-    ++bind_conflicts_;
-    return BindOutcome::kNotPending;
-  }
-  if (record.resource_version != expected_version) {
-    ++bind_conflicts_;
-    return BindOutcome::kStaleVersion;
-  }
-  const NodeEntry* entry = find_node(node);
-  if (entry == nullptr || !entry->node->schedulable()) {
-    return BindOutcome::kNodeUnavailable;
-  }
-  // Kubelet admission guard: re-check the declared EPC against the node's
-  // *live* device commitments at delivery time. A scheduler whose view of
-  // the node predates another leader's binds (split-brain window) passes
-  // the CAS above — the pod itself is unchanged — but must not be allowed
-  // to over-commit the EPC it promised never to over-commit.
-  if (!entry->kubelet->can_admit(record.spec)) {
-    ++guard_rejections_;
-    record_event(pod, "BindRejected: EPC admission guard on " + node);
-    return BindOutcome::kAdmissionRejected;
-  }
+void ApiServer::apply_bind(PodRecord& record, const NodeEntry& entry) {
+  const cluster::PodName pod = record.spec.name;
   unindex(record);  // leaves the pending queue
   record.phase = cluster::PodPhase::kBound;
   record.bound = sim_->now();
-  record.node = node;
+  record.node = entry.node->name();
   bump_version(record);
   node_insert(record);
-  record_event(pod, "Scheduled to " + node);
+  record_event(pod, "Scheduled to " + record.node);
   notify_watchers(pod, cluster::PodPhase::kBound);
-  entry->kubelet->admit_pod(record.spec);
-  return BindOutcome::kBound;
+  entry.kubelet->admit_pod(record.spec);
+}
+
+ApiServer::BatchBindResult ApiServer::try_bind_batch(
+    const std::vector<BindRequest>& batch, BatchMode mode) {
+  BatchBindResult result;
+  result.entries.resize(batch.size());
+
+  // Phase 1 — validate, mutating nothing. EPC admission is charged
+  // cumulatively per target node (`staged`), and every pod already staged
+  // by an earlier entry conflicts with later duplicates, so one
+  // transaction can neither double-place a pod nor admit two pods into
+  // the same last pages.
+  std::vector<bool> valid(batch.size(), false);
+  std::map<cluster::NodeName, Pages> staged;
+  std::set<cluster::PodName> staged_pods;
+  bool all_valid = true;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const BindRequest& request = batch[i];
+    BindOutcome& outcome = result.entries[i];
+    const PodRecord& record = pod(request.pod);
+    outcome.resource_version = record.resource_version;
+    if (record.phase != cluster::PodPhase::kPending ||
+        staged_pods.count(request.pod) > 0) {
+      outcome.status = BindStatus::kNotPending;
+      ++bind_conflicts_;
+      ++result.conflicts;
+      all_valid = false;
+      continue;
+    }
+    if (record.resource_version != request.expected_version) {
+      outcome.status = BindStatus::kStaleVersion;
+      ++bind_conflicts_;
+      ++result.conflicts;
+      all_valid = false;
+      continue;
+    }
+    const NodeEntry* entry = find_node(request.node);
+    if (entry == nullptr || !entry->node->schedulable()) {
+      outcome.status = BindStatus::kNodeUnavailable;
+      ++result.unavailable;
+      all_valid = false;
+      continue;
+    }
+    // Kubelet admission guard: re-check the declared EPC against the
+    // node's *live* device commitments plus this batch's staged pages. A
+    // scheduler whose view of the node predates another scheduler's binds
+    // passes the CAS above — the pod itself is unchanged — but must not
+    // be allowed to over-commit the EPC it promised never to over-commit.
+    const Pages staged_here = staged[request.node];
+    if (!entry->kubelet->can_admit(record.spec, staged_here)) {
+      outcome.status = BindStatus::kAdmissionRejected;
+      ++guard_rejections_;
+      ++result.admission_rejections;
+      record_event(request.pod,
+                   "BindRejected: EPC admission guard on " + request.node);
+      all_valid = false;
+      continue;
+    }
+    valid[i] = true;
+    outcome.status = BindStatus::kBound;  // tentative until applied
+    staged[request.node] =
+        staged_here + record.spec.total_requests().epc_pages;
+    staged_pods.insert(request.pod);
+  }
+
+  if (mode == BatchMode::kAtomic && !all_valid) {
+    result.aborted = true;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (valid[i]) result.entries[i].status = BindStatus::kBatchAborted;
+    }
+    return result;
+  }
+
+  // Phase 2 — apply in batch order. A watch callback fired by an earlier
+  // apply may mutate a later entry's pod or node mid-batch; the re-checks
+  // downgrade such entries to clean conflicts instead of trusting the
+  // stale validation.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!valid[i]) continue;
+    const BindRequest& request = batch[i];
+    BindOutcome& outcome = result.entries[i];
+    PodRecord& record = mutable_pod(request.pod);
+    if (record.phase != cluster::PodPhase::kPending) {
+      outcome.status = BindStatus::kNotPending;
+      outcome.resource_version = record.resource_version;
+      ++bind_conflicts_;
+      ++result.conflicts;
+      continue;
+    }
+    if (record.resource_version != request.expected_version) {
+      outcome.status = BindStatus::kStaleVersion;
+      outcome.resource_version = record.resource_version;
+      ++bind_conflicts_;
+      ++result.conflicts;
+      continue;
+    }
+    const NodeEntry* entry = find_node(request.node);
+    if (entry == nullptr || !entry->node->schedulable()) {
+      outcome.status = BindStatus::kNodeUnavailable;
+      ++result.unavailable;
+      continue;
+    }
+    apply_bind(record, *entry);
+    outcome.resource_version = record.resource_version;
+    ++result.bound;
+  }
+  return result;
+}
+
+ApiServer::BindOutcome ApiServer::try_bind(const cluster::PodName& pod,
+                                           const cluster::NodeName& node,
+                                           std::uint64_t expected_version) {
+  return try_bind_batch({BindRequest{pod, node, expected_version}})
+      .entries.front();
 }
 
 void ApiServer::bind(const cluster::PodName& pod,
@@ -317,7 +480,7 @@ void ApiServer::bind(const cluster::PodName& pod,
   SGXO_CHECK_MSG(entry != nullptr, "binding to unknown node " + node);
   SGXO_CHECK_MSG(entry->node->schedulable(), "binding to master node");
   const BindOutcome outcome = try_bind(pod, node, record.resource_version);
-  SGXO_CHECK_MSG(outcome == BindOutcome::kBound,
+  SGXO_CHECK_MSG(outcome.bound(),
                  "bind of " + pod + " to " + node +
                      " rejected by the admission guard");
 }

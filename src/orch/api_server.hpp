@@ -11,10 +11,19 @@
 // usage accumulators — updated transactionally with every phase
 // transition. pending_pods / assigned_pods / quota admission are therefore
 // O(result), not O(pods): the scheduler hot loop never scans the store.
+//
+// Write path: conditional binds are the only scheduling writes. try_bind
+// CASes one pod; try_bind_batch validates a whole transaction of
+// (pod, node, version) entries — charging EPC admission cumulatively per
+// node — and applies per-entry or atomically. N active schedulers racing
+// optimistically over sharded pending queues (Omega-style shared state)
+// are safe by construction: a loser gets a clean per-entry conflict, never
+// a double placement or an EPC over-commit.
 #pragma once
 
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <optional>
 #include <set>
@@ -79,9 +88,17 @@ struct ResourceQuota {
   Pages epc_pages{};
 };
 
+/// Stable shard of a pod: FNV-1a of the name mod `shard_count`. A pure
+/// function of the name — identical across runs, replicas and processes —
+/// so shard assignment can never depend on iteration order or seeds
+/// (same-seed chaos runs stay bit-identical).
+[[nodiscard]] std::uint32_t shard_of(const cluster::PodName& pod,
+                                     std::uint32_t shard_count);
+
 /// Selector for ApiServer::list_pods — the single read API behind the
-/// legacy pending_pods/assigned_pods/all_pods trio. Unset fields match
-/// everything; set fields are ANDed.
+/// legacy pending_pods/assigned_pods/all_pods trio and the shared-state
+/// schedulers' shard pulls. Unset fields match everything; set fields are
+/// ANDed.
 struct PodFilter {
   std::optional<cluster::PodPhase> phase;
   /// Node the pod is *currently assigned to* (bound or running there).
@@ -90,6 +107,14 @@ struct PodFilter {
   /// Resolved scheduler owner: a pod with an empty spec.scheduler_name is
   /// owned by the cluster default scheduler at query time.
   std::optional<std::string> scheduler;
+  /// Pending-queue shard: matches pods with shard_of(name, shard_count)
+  /// == shard. shard_count must be > 0 whenever shard is set.
+  std::optional<std::uint32_t> shard;
+  std::uint32_t shard_count = 0;
+  /// Truncates the result after ordering (0 = unlimited). The pending
+  /// read path streams, so a limited query costs O(entries scanned until
+  /// the limit), not O(queue) — the shared-state batch pull depends on it.
+  std::size_t limit = 0;
 };
 
 class ApiServer final : public cluster::PodLifecycleListener {
@@ -159,12 +184,13 @@ class ApiServer final : public cluster::PodLifecycleListener {
   [[nodiscard]] std::vector<cluster::PodName> pending_pods(
       const std::string& scheduler_name) const;
 
-  /// Outcome of a conditional bind. Everything except kBound leaves the
-  /// pod exactly where it was (pending pods stay in the queue).
-  enum class BindOutcome {
+  /// Status of a conditional bind attempt. Everything except kBound
+  /// leaves the pod exactly where it was (pending pods stay queued).
+  enum class BindStatus {
     kBound,
     /// expected_version no longer matches — the pod changed since the
-    /// caller's snapshot (evicted+requeued, resubmitted, ...).
+    /// caller's snapshot (evicted+requeued, resubmitted, or bound and
+    /// re-bound by an earlier entry of the same batch).
     kStaleVersion,
     /// The pod is not pending (already bound by another scheduler, or
     /// terminal).
@@ -172,9 +198,72 @@ class ApiServer final : public cluster::PodLifecycleListener {
     /// Unknown or unschedulable (master / failed) target node.
     kNodeUnavailable,
     /// The node's kubelet admission guard rejected the delivery: the
-    /// declared EPC no longer fits the node's live commitments. The last
-    /// line of defence against split-brain over-commitment.
+    /// declared EPC no longer fits the node's live commitments (plus any
+    /// pages staged by earlier entries of the same batch). The last line
+    /// of defence against split-brain over-commitment.
     kAdmissionRejected,
+    /// kAtomic batch only: this entry validated cleanly but another entry
+    /// did not, so the whole transaction was rolled forward to nothing.
+    kBatchAborted,
+  };
+
+  /// Outcome of one conditional bind: the status plus the pod's observed
+  /// resource_version, so a losing caller can retry against the live
+  /// version without a re-read.
+  struct BindOutcome {
+    BindStatus status = BindStatus::kNotPending;
+    /// The version observed by the attempt: the new (post-bump) version
+    /// after kBound, the pod's current version on every rejection.
+    std::uint64_t resource_version = 0;
+
+    [[nodiscard]] bool bound() const { return status == BindStatus::kBound; }
+    friend bool operator==(const BindOutcome& outcome, BindStatus status) {
+      return outcome.status == status;
+    }
+  };
+
+  /// One entry of a bind transaction.
+  struct BindRequest {
+    cluster::PodName pod;
+    cluster::NodeName node;
+    std::uint64_t expected_version = 0;
+  };
+
+  /// Transaction semantics of try_bind_batch.
+  enum class BatchMode {
+    /// Each entry is individually all-or-nothing: valid entries apply,
+    /// invalid entries leave their pod untouched. The shared-state
+    /// schedulers' default.
+    kPerEntry,
+    /// Any invalid entry aborts the whole batch before anything applies;
+    /// clean entries come back kBatchAborted.
+    kAtomic,
+  };
+
+  /// Result of a bind transaction: per-entry outcomes (parallel to the
+  /// request vector) plus the conflict summary the shared-state
+  /// schedulers feed into their batch-size/re-shard backoff.
+  struct BatchBindResult {
+    std::vector<BindOutcome> entries;
+    std::size_t bound = 0;
+    /// kStaleVersion + kNotPending entries: another scheduler (or an
+    /// earlier entry of this batch) got there first.
+    std::size_t conflicts = 0;
+    /// kAdmissionRejected entries (stale node view caught by the guard).
+    std::size_t admission_rejections = 0;
+    /// kNodeUnavailable entries.
+    std::size_t unavailable = 0;
+    /// kAtomic only: the batch validated dirty and nothing was applied.
+    bool aborted = false;
+
+    /// Contended fraction of the batch — conflicts and guard rejections
+    /// over attempts (0 for an empty batch). Node deaths are excluded:
+    /// they are faults, not contention.
+    [[nodiscard]] double conflict_rate() const {
+      if (entries.empty()) return 0.0;
+      return static_cast<double>(conflicts + admission_rejections) /
+             static_cast<double>(entries.size());
+    }
   };
 
   /// Conditional (compare-and-swap) bind: succeeds only if the pod is
@@ -182,13 +271,31 @@ class ApiServer final : public cluster::PodLifecycleListener {
   /// node is schedulable, and the node's kubelet admits the declared
   /// resources against its live commitments. On success the pod is bound
   /// and handed to the Kubelet; on any other outcome nothing changes.
+  /// Equivalent to a one-entry try_bind_batch.
   BindOutcome try_bind(const cluster::PodName& pod,
                        const cluster::NodeName& node,
                        std::uint64_t expected_version);
 
+  /// Transactional batch bind — the write surface of the shared-state
+  /// multi-scheduler control plane. Two phases:
+  ///   1. *Validate* every (pod, node, expected_version) entry against
+  ///      live state: the CAS checks of try_bind plus EPC admission
+  ///      charged cumulatively per node, so two entries of one batch can
+  ///      never share the same last pages. Nothing mutates.
+  ///   2. *Apply* the valid entries in batch order (kPerEntry), or all of
+  ///      them only if every entry validated (kAtomic).
+  /// A watch callback fired mid-apply can invalidate a later entry; the
+  /// apply re-checks and downgrades such entries to a clean conflict
+  /// instead of double-placing. Entry order is caller order — batch
+  /// construction must itself be deterministic for seed-stable runs.
+  BatchBindResult try_bind_batch(const std::vector<BindRequest>& batch,
+                                 BatchMode mode = BatchMode::kPerEntry);
+
   /// Strict bind: conditional bind against the pod's current version,
-  /// asserting success — the single-scheduler fast path and the legacy
-  /// test surface. Throws ContractViolation on any rejection.
+  /// asserting success. Deprecated legacy shim — every real caller has
+  /// moved to try_bind/try_bind_batch, whose rejections are values, not
+  /// exceptions. Throws ContractViolation on any rejection.
+  [[deprecated("use try_bind/try_bind_batch; rejections are BindOutcomes")]]
   void bind(const cluster::PodName& pod, const cluster::NodeName& node);
 
   /// try_bind rejections due to a stale version or a no-longer-pending
@@ -287,6 +394,9 @@ class ApiServer final : public cluster::PodLifecycleListener {
   /// Marks a mutation for optimistic concurrency: every phase transition
   /// or reassignment bumps the record's version.
   static void bump_version(PodRecord& record) { ++record.resource_version; }
+  /// Phase-2 commit of one validated bind entry: dequeues, binds, hands
+  /// the pod to the kubelet and fires watchers.
+  void apply_bind(PodRecord& record, const NodeEntry& entry);
   void record_event(const cluster::PodName& pod, std::string message);
   void notify_watchers(const cluster::PodName& pod,
                        cluster::PodPhase phase);
@@ -311,6 +421,9 @@ class ApiServer final : public cluster::PodLifecycleListener {
   std::string default_scheduler_ = "default-scheduler";
   std::map<std::string, ResourceQuota> quotas_;
   std::vector<NodeEntry> nodes_;
+  /// Name → index into nodes_: find_node stays O(log nodes) at fleet
+  /// scale (nodes_ is append-only, so indexes never dangle).
+  std::map<cluster::NodeName, std::size_t> node_index_;
   std::map<cluster::PodName, PodRecord> pods_;
   std::vector<cluster::PodName> submission_order_;
   std::uint64_t next_seq_ = 0;
@@ -333,5 +446,10 @@ class ApiServer final : public cluster::PodLifecycleListener {
   int notify_depth_ = 0;
   bool watch_tombstones_ = false;
 };
+
+[[nodiscard]] const char* to_string(ApiServer::BindStatus status);
+std::ostream& operator<<(std::ostream& os, ApiServer::BindStatus status);
+std::ostream& operator<<(std::ostream& os,
+                         const ApiServer::BindOutcome& outcome);
 
 }  // namespace sgxo::orch

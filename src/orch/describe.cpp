@@ -202,6 +202,8 @@ std::string describe_control_plane(
     os << "  " << health.identity << " (" << health.name << "): ";
     if (health.crashed) {
       os << "CRASHED";
+    } else if (health.shared_state) {
+      os << "active shard=" << health.shard << "/" << health.shard_count;
     } else if (!health.election_enabled) {
       os << "active";
     } else if (health.leading) {
@@ -215,7 +217,14 @@ std::string describe_control_plane(
        << " bind_conflicts=" << health.bind_conflicts
        << " guard_rejections=" << health.guard_rejections
        << " backoff_skips=" << health.backoff_skips
-       << " degraded_cycles=" << health.degraded_cycles << '\n';
+       << " degraded_cycles=" << health.degraded_cycles;
+    if (health.shared_state) {
+      os << " batch=" << health.batch_capacity
+         << " batches=" << health.batches
+         << " steal_cycles=" << health.steal_cycles
+         << " reshards=" << health.reshards;
+    }
+    os << '\n';
   }
   return os.str();
 }

@@ -58,8 +58,31 @@ void Scheduler::enable_leader_election(std::string lease, Duration ttl) {
   SGXO_CHECK_MSG(ttl > period_,
                  "lease TTL must exceed the scheduling period, or the "
                  "leader lapses between its own renewals");
+  SGXO_CHECK_MSG(!shared_state_enabled(),
+                 "shared-state replicas are all active; a leader lease "
+                 "would serialize them again");
   lease_ = std::move(lease);
   lease_ttl_ = ttl;
+}
+
+void Scheduler::enable_shared_state(SharedStateConfig config) {
+  SGXO_CHECK_MSG(!leader_election_enabled(),
+                 "shared state replaces the lease gate with optimistic "
+                 "concurrency; disable leader election first");
+  SGXO_CHECK_MSG(config.shard_count >= 1, "shard_count must be >= 1");
+  SGXO_CHECK_MSG(config.shard < config.shard_count,
+                 "shard must be < shard_count");
+  SGXO_CHECK_MSG(config.min_batch >= 1, "min_batch must be >= 1");
+  SGXO_CHECK_MSG(config.min_batch <= config.initial_batch &&
+                     config.initial_batch <= config.max_batch,
+                 "batch bounds must satisfy min <= initial <= max");
+  SGXO_CHECK_MSG(config.shrink_above > config.grow_below,
+                 "controller thresholds must satisfy shrink_above > "
+                 "grow_below, or a batch could shrink and grow at once");
+  shared_ = config;
+  batch_size_ = config.initial_batch;
+  conflict_streak_ = 0;
+  steal_rotation_ = 0;
 }
 
 void Scheduler::crash() {
@@ -104,6 +127,15 @@ Scheduler::Health Scheduler::health() const {
   health.guard_rejections = guard_rejections_;
   health.backoff_skips = backoff_skips_;
   health.degraded_cycles = degraded_cycles();
+  health.shared_state = shared_state_enabled();
+  if (shared_state_enabled()) {
+    health.shard = shared_->shard;
+    health.shard_count = shared_->shard_count;
+    health.batch_capacity = batch_size_;
+    health.batches = batches_;
+    health.steal_cycles = steal_cycles_;
+    health.reshards = reshards_;
+  }
   return health;
 }
 
@@ -140,6 +172,9 @@ void Scheduler::prune_backoffs() {
 
 std::size_t Scheduler::run_once() {
   if (crashed_) return 0;
+
+  // Shared-state replicas are always active: no lease gates the cycle.
+  if (shared_state_enabled()) return run_shared_cycle();
 
   // Leader election: renew (or contest) the lease before doing any work.
   // A standby's cycle costs one lease lookup and nothing else.
@@ -221,15 +256,15 @@ std::size_t Scheduler::run_once() {
 
     const ApiServer::BindOutcome outcome =
         api_->try_bind(pod_name, *chosen, pending.version);
-    if (outcome == ApiServer::BindOutcome::kStaleVersion ||
-        outcome == ApiServer::BindOutcome::kNotPending) {
+    if (outcome == ApiServer::BindStatus::kStaleVersion ||
+        outcome == ApiServer::BindStatus::kNotPending) {
       // Lost the race: the pod changed (or was taken) since the cycle's
       // snapshot. It stays wherever the winner put it; if still pending
       // it is re-enqueued for the next cycle, without a backoff penalty.
       ++bind_conflicts_;
       continue;
     }
-    if (outcome == ApiServer::BindOutcome::kAdmissionRejected) {
+    if (outcome == ApiServer::BindStatus::kAdmissionRejected) {
       // The kubelet's live commitments disagree with this cycle's view —
       // the split-brain safety net. Back the pod off like any other
       // failed placement; the view is rebuilt next cycle.
@@ -238,7 +273,7 @@ std::size_t Scheduler::run_once() {
       if (strict_fcfs_) break;
       continue;
     }
-    if (outcome == ApiServer::BindOutcome::kNodeUnavailable) {
+    if (outcome == ApiServer::BindStatus::kNodeUnavailable) {
       // The node died between view collection and bind.
       note_bind_failure(pod_name);
       if (strict_fcfs_) break;
@@ -265,6 +300,152 @@ std::size_t Scheduler::run_once() {
   // queue (bound elsewhere, finished, failed) are dropped periodically.
   if (bind_backoff_enabled() && cycles_ % 64 == 0) prune_backoffs();
 
+  bound_ += bound_this_cycle;
+  return bound_this_cycle;
+}
+
+std::size_t Scheduler::run_shared_cycle() {
+  ++cycles_;
+  const SharedStateConfig& config = *shared_;
+
+  // Pull up to one batch from this replica's own shard; if that shard is
+  // dry, probe neighbours in a deterministic rotation so a crashed (or
+  // merely slow) replica's backlog is absorbed without a failover step.
+  // The shard is a pure function of the pod name, so the pull — and with
+  // it the whole cycle — is bit-identical across same-seed runs.
+  PodFilter filter;
+  filter.phase = cluster::PodPhase::kPending;
+  filter.scheduler = name_;
+  filter.shard_count = config.shard_count;
+  filter.shard = config.shard;
+  filter.limit = batch_size_;
+  std::vector<const PodRecord*> pulled = api_->list_pods(filter);
+  if (pulled.empty() && config.work_stealing && config.shard_count > 1) {
+    for (std::uint32_t k = 1; k < config.shard_count; ++k) {
+      const std::uint32_t candidate =
+          (config.shard + steal_rotation_ + k) % config.shard_count;
+      if (candidate == config.shard) continue;
+      filter.shard = candidate;
+      pulled = api_->list_pods(filter);
+      if (!pulled.empty()) {
+        ++steal_cycles_;
+        break;
+      }
+    }
+  }
+  if (pulled.empty()) return 0;
+
+  // Plan the whole batch against one optimistic snapshot, reserving each
+  // staged placement in the cycle-local views so two batch entries cannot
+  // both claim the same node's last EPC pages from this replica's side.
+  // (Cross-replica races are the ApiServer's job: version CAS + the
+  // admission guard turn them into per-entry conflicts.)
+  std::vector<NodeView> views = collect_views();
+  std::vector<ApiServer::BindRequest> batch;
+  batch.reserve(pulled.size());
+  bool unschedulable_reported = false;
+  for (const PodRecord* record : pulled) {
+    const cluster::PodName& pod_name = record->spec.name;
+    const cluster::PodSpec& spec = record->spec;
+
+    if (bind_backoff_enabled()) {
+      const auto backoff_it = backoffs_.find(pod_name);
+      if (backoff_it != backoffs_.end() &&
+          sim_->now() < backoff_it->second.not_before) {
+        ++backoff_skips_;
+        continue;
+      }
+    }
+
+    std::vector<NodeView> feasible;
+    feasible.reserve(views.size());
+    std::copy_if(views.begin(), views.end(), std::back_inserter(feasible),
+                 [&](const NodeView& view) { return fits(spec, view); });
+    if (feasible.empty()) {
+      if (!unschedulable_reported) {
+        unschedulable_reported = true;
+        on_unschedulable(spec, views);
+      }
+      note_bind_failure(pod_name);
+      if (strict_fcfs_) break;
+      continue;
+    }
+
+    const std::optional<cluster::NodeName> chosen =
+        select_node(spec, feasible, views);
+    if (!chosen.has_value()) {
+      note_bind_failure(pod_name);
+      if (strict_fcfs_) break;
+      continue;
+    }
+
+    batch.push_back(ApiServer::BindRequest{pod_name, *chosen,
+                                           record->resource_version});
+    const auto view_it =
+        std::find_if(views.begin(), views.end(), [&](const NodeView& v) {
+          return v.name == *chosen;
+        });
+    SGXO_CHECK(view_it != views.end());
+    const cluster::ResourceAmounts request = spec.total_requests();
+    view_it->memory_used += request.memory;
+    view_it->epc_used += request.epc_pages;
+    view_it->epc_requested += request.epc_pages;
+  }
+
+  std::size_t bound_this_cycle = 0;
+  if (!batch.empty()) {
+    const ApiServer::BatchBindResult result = api_->try_bind_batch(batch);
+    ++batches_;
+    SGXO_CHECK(result.entries.size() == batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const cluster::PodName& pod_name = batch[i].pod;
+      switch (result.entries[i].status) {
+        case ApiServer::BindStatus::kBound:
+          backoffs_.erase(pod_name);
+          ++bound_this_cycle;
+          break;
+        case ApiServer::BindStatus::kStaleVersion:
+        case ApiServer::BindStatus::kNotPending:
+          // Lost the optimistic race to a sibling replica; the pod stays
+          // wherever the winner put it, no backoff penalty.
+          ++bind_conflicts_;
+          break;
+        case ApiServer::BindStatus::kAdmissionRejected:
+          // Stale view of the node's live EPC commitments.
+          ++guard_rejections_;
+          note_bind_failure(pod_name);
+          break;
+        case ApiServer::BindStatus::kNodeUnavailable:
+          note_bind_failure(pod_name);
+          break;
+        case ApiServer::BindStatus::kBatchAborted:
+          break;  // kPerEntry batches never abort
+      }
+    }
+
+    // Conflict-rate congestion controller: sustained contention shrinks
+    // the batch (fewer staged binds per transaction → fewer casualties
+    // per race) and eventually rotates the steal origin so two replicas
+    // stop colliding on the same drained shard; clean batches grow back.
+    last_conflict_rate_ = result.conflict_rate();
+    if (last_conflict_rate_ > config.shrink_above) {
+      batch_size_ = std::max(config.min_batch, batch_size_ / 2);
+      ++conflict_streak_;
+      if (config.reshard_after > 0 &&
+          conflict_streak_ >= config.reshard_after) {
+        conflict_streak_ = 0;
+        steal_rotation_ = (steal_rotation_ + 1) % config.shard_count;
+        ++reshards_;
+      }
+    } else {
+      conflict_streak_ = 0;
+      if (last_conflict_rate_ < config.grow_below) {
+        batch_size_ = std::min(config.max_batch, batch_size_ * 2);
+      }
+    }
+  }
+
+  if (bind_backoff_enabled() && cycles_ % 64 == 0) prune_backoffs();
   bound_ += bound_this_cycle;
   return bound_this_cycle;
 }

@@ -121,6 +121,18 @@ FaultPlan random_plan(Rng& rng, const RandomPlanConfig& config) {
         break;
       case FaultKind::kLeaseExpiry:
         if (config.lease_targets.empty()) {
+          // Shared-state fleets run without leases: lease faults are
+          // meaningless there, but scheduler crashes are the equivalent
+          // control-plane disruption — downgrade to one when scheduler
+          // targets exist, else to the harmless monitoring dropout.
+          if (!config.scheduler_targets.empty()) {
+            fault.kind = FaultKind::kSchedulerCrash;
+            fault.target = config.scheduler_targets[static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(
+                                       config.scheduler_targets.size()) -
+                                       1))];
+            break;
+          }
           fault.kind = FaultKind::kHeapsterDropout;
           break;
         }
@@ -131,6 +143,14 @@ FaultPlan random_plan(Rng& rng, const RandomPlanConfig& config) {
         break;
       case FaultKind::kSplitBrainWindow:
         if (config.lease_targets.empty()) {
+          if (!config.scheduler_targets.empty()) {
+            fault.kind = FaultKind::kSchedulerCrash;
+            fault.target = config.scheduler_targets[static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(
+                                       config.scheduler_targets.size()) -
+                                       1))];
+            break;
+          }
           fault.kind = FaultKind::kHeapsterDropout;
         }
         break;

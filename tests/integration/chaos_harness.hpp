@@ -44,6 +44,11 @@ struct ScenarioConfig {
   /// Leader-lease TTL; a dead leader is replaced within one TTL plus one
   /// scheduling period.
   Duration lease_ttl = Duration::seconds(15);
+  /// Shared-state mode: every replica is active over its own pending-queue
+  /// shard (Omega-style batched binds, work stealing) instead of standing
+  /// by behind a leader lease. With ha_faults, lease fault kinds downgrade
+  /// to scheduler crashes — there is no lease to expire.
+  bool shared_state = false;
 };
 
 struct ScenarioResult {
@@ -64,6 +69,10 @@ struct ScenarioResult {
   std::uint64_t guard_rejections = 0;  // kubelet admission-guard saves
   std::uint64_t lease_transitions = 0;
   std::uint64_t split_grants = 0;
+  // Shared-state counters (zero unless config.shared_state).
+  std::uint64_t batches = 0;
+  std::uint64_t steal_cycles = 0;
+  std::uint64_t reshards = 0;
   /// Invariant breaches observed during or after the run (empty = pass).
   std::vector<std::string> violations;
   /// The armed plan, for reproduction messages.
@@ -91,9 +100,16 @@ inline ScenarioResult run_scenario(std::uint64_t seed,
     if (replica_count > 1) {
       sched_config.identity = "sgx-binpack-" + std::to_string(i);
     }
+    if (config.shared_state) {
+      // Omega-style: every replica active on its own shard, no lease.
+      orch::SharedStateConfig shard;
+      shard.shard = static_cast<std::uint32_t>(i);
+      shard.shard_count = static_cast<std::uint32_t>(replica_count);
+      sched_config.shared_state = shard;
+    }
     auto& replica = cluster.add_sgx_scheduler(std::move(sched_config));
     replica.set_bind_backoff(Duration::seconds(5), Duration::minutes(2));
-    if (replica_count > 1) {
+    if (!config.shared_state && replica_count > 1) {
       replica.enable_leader_election("scheduler-leader", config.lease_ttl);
     }
     replicas.push_back(&replica);
@@ -138,7 +154,11 @@ inline ScenarioResult run_scenario(std::uint64_t seed,
     for (core::SgxAwareScheduler* replica : replicas) {
       plan_config.scheduler_targets.push_back(replica->identity());
     }
-    plan_config.lease_targets = {"scheduler-leader"};
+    if (!config.shared_state) {
+      plan_config.lease_targets = {"scheduler-leader"};
+    }
+    // Shared-state fleets leave lease_targets empty: random_plan downgrades
+    // the lease fault kinds to scheduler crashes against the fleet.
   }
   Rng plan_rng = rng.split();
   const sim::FaultPlan plan = sim::random_plan(plan_rng, plan_config);
@@ -199,6 +219,9 @@ inline ScenarioResult run_scenario(std::uint64_t seed,
     result.backoff_skips += replica->backoff_skips();
     result.elections += replica->elections();
     result.standby_cycles += replica->standby_cycles();
+    result.batches += replica->batches();
+    result.steal_cycles += replica->steal_cycles();
+    result.reshards += replica->reshards();
   }
   result.bind_conflicts = cluster.api().bind_conflicts();
   result.guard_rejections = cluster.api().guard_rejections();

@@ -271,6 +271,28 @@ TEST(ChaosDeterminism, HaScenarioWithSameSeedIsBitIdentical) {
   }
 }
 
+TEST(ChaosDeterminism, SharedStateScenarioWithSameSeedIsBitIdentical) {
+  // Four always-active replicas racing through batched bind transactions
+  // (no leader lease): shard assignment, batch composition and conflict
+  // resolution must all replay exactly under the same seed.
+  chaos::ScenarioConfig config;
+  config.scheduler_replicas = 4;
+  config.shared_state = true;
+  config.ha_faults = true;
+  const chaos::ScenarioResult a = chaos::run_scenario(42, config);
+  const chaos::ScenarioResult b = chaos::run_scenario(42, config);
+  EXPECT_EQ(a.plan, b.plan);
+  EXPECT_EQ(a.bind_conflicts, b.bind_conflicts);
+  EXPECT_EQ(a.guard_rejections, b.guard_rejections);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.steal_cycles, b.steal_cycles);
+  EXPECT_EQ(a.reshards, b.reshards);
+  ASSERT_EQ(a.event_log.size(), b.event_log.size());
+  for (std::size_t i = 0; i < a.event_log.size(); ++i) {
+    ASSERT_EQ(a.event_log[i], b.event_log[i]) << "first divergence at " << i;
+  }
+}
+
 TEST(ChaosDeterminism, DifferentSeedsProduceDifferentPlans) {
   Rng rng_a{7};
   Rng rng_b{8};
@@ -306,6 +328,25 @@ TEST(ChaosSweep, HaSmokeTenSeeds) {
                     << "\n  plan: " << result.plan;
     }
     EXPECT_GT(result.elections, 0u) << "seed " << seed;
+  }
+}
+
+TEST(ChaosSweep, SharedStateSmokeTenSeeds) {
+  // The 500-seed shared-state sweep lives in chaos_shared_sweep_test.cpp
+  // (label: chaos-shared); this keeps a slice of it in the default suite.
+  chaos::ScenarioConfig config;
+  config.scheduler_replicas = 4;
+  config.shared_state = true;
+  config.ha_faults = true;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const chaos::ScenarioResult result = chaos::run_scenario(seed, config);
+    for (const std::string& violation : result.violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << violation
+                    << "\n  plan: " << result.plan;
+    }
+    EXPECT_EQ(result.elections, 0u) << "seed " << seed;
+    EXPECT_EQ(result.standby_cycles, 0u) << "seed " << seed;
+    EXPECT_GT(result.batches, 0u) << "seed " << seed;
   }
 }
 

@@ -45,6 +45,13 @@ class ApiServerFixture : public ::testing::Test {
     api_.register_node(master_, kubelet_m_);
   }
 
+  /// Conditional bind against the pod's current version, asserting success.
+  void bind_now(const cluster::PodName& pod, const cluster::NodeName& node) {
+    const std::uint64_t version = api_.pod(pod).resource_version;
+    ASSERT_TRUE(api_.try_bind(pod, node, version).bound())
+        << pod << " -> " << node;
+  }
+
   sim::Simulation sim_;
   ApiServer api_;
   sgx::PerfModel perf_;
@@ -110,7 +117,7 @@ TEST_F(ApiServerFixture, PendingQueueIsFcfsPerScheduler) {
 
 TEST_F(ApiServerFixture, BindDeliversToKubeletAndTracksAssignment) {
   api_.submit(pod("p1"));
-  api_.bind("p1", "node-a");
+  bind_now("p1", "node-a");
   EXPECT_EQ(api_.pod("p1").phase, cluster::PodPhase::kBound);
   EXPECT_EQ(api_.pod("p1").node, "node-a");
   EXPECT_EQ(api_.assigned_pods("node-a"),
@@ -123,17 +130,23 @@ TEST_F(ApiServerFixture, BindDeliversToKubeletAndTracksAssignment) {
 
 TEST_F(ApiServerFixture, BindValidation) {
   api_.submit(pod("p1"));
-  EXPECT_THROW(api_.bind("ghost", "node-a"), ContractViolation);
-  EXPECT_THROW(api_.bind("p1", "ghost-node"), ContractViolation);
-  EXPECT_THROW(api_.bind("p1", "master"), ContractViolation);
-  api_.bind("p1", "node-a");
-  EXPECT_THROW(api_.bind("p1", "node-a"), ContractViolation);
+  const std::uint64_t v1 = api_.pod("p1").resource_version;
+  // Unknown pods are a caller bug (there is no version to CAS against);
+  // everything else is a clean, value-typed rejection.
+  EXPECT_THROW((void)api_.try_bind("ghost", "node-a", 1), ContractViolation);
+  EXPECT_EQ(api_.try_bind("p1", "ghost-node", v1),
+            ApiServer::BindStatus::kNodeUnavailable);
+  EXPECT_EQ(api_.try_bind("p1", "master", v1),
+            ApiServer::BindStatus::kNodeUnavailable);
+  bind_now("p1", "node-a");
+  EXPECT_EQ(api_.try_bind("p1", "node-a", api_.pod("p1").resource_version),
+            ApiServer::BindStatus::kNotPending);
 }
 
 TEST_F(ApiServerFixture, LifecycleTimestampsProduceMetrics) {
   api_.submit(pod("p1", "", Duration::seconds(30)));
   sim_.run_until(TimePoint::epoch() + Duration::seconds(5));
-  api_.bind("p1", "node-a");
+  bind_now("p1", "node-a");
   sim_.run();
   const PodRecord& record = api_.pod("p1");
   EXPECT_EQ(record.phase, cluster::PodPhase::kSucceeded);
@@ -149,7 +162,7 @@ TEST_F(ApiServerFixture, LifecycleTimestampsProduceMetrics) {
 
 TEST_F(ApiServerFixture, EventsAreChronological) {
   api_.submit(pod("p1"));
-  api_.bind("p1", "node-a");
+  bind_now("p1", "node-a");
   sim_.run();
   const auto& events = api_.events();
   ASSERT_GE(events.size(), 4u);
@@ -176,8 +189,8 @@ TEST_F(ApiServerFixture, EventRetentionDropsOldestBeyondCap) {
   EXPECT_EQ(api_.event_retention(), 3u);
   api_.submit(pod("p1"));  // 1 event
   api_.submit(pod("p2"));  // 2 events
-  api_.bind("p1", "node-a");
-  api_.bind("p2", "node-a");  // 4 events → oldest dropped
+  bind_now("p1", "node-a");
+  bind_now("p2", "node-a");  // 4 events → oldest dropped
   EXPECT_EQ(api_.events().size(), 3u);
   EXPECT_EQ(api_.dropped_events(), 1u);
   // The survivors are the newest three, still chronological.
@@ -208,7 +221,7 @@ TEST_F(ApiServerFixture, ZeroRetentionMeansUnlimited) {
 
 TEST_F(ApiServerFixture, FailureRecordsReason) {
   api_.submit(pod("p1"));
-  api_.bind("p1", "node-a");
+  bind_now("p1", "node-a");
   // Simulate a kubelet-reported failure before completion.
   api_.on_pod_failed("p1", "SomethingBroke");
   const PodRecord& record = api_.pod("p1");

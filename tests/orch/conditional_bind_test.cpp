@@ -64,7 +64,7 @@ class ConditionalBindFixture : public ::testing::Test {
 TEST_F(ConditionalBindFixture, BindBumpsTheResourceVersion) {
   api_.submit(sgx_pod("p", Pages{100}));
   const std::uint64_t v0 = version("p");
-  EXPECT_EQ(api_.try_bind("p", "sgx-1", v0), ApiServer::BindOutcome::kBound);
+  EXPECT_EQ(api_.try_bind("p", "sgx-1", v0), ApiServer::BindStatus::kBound);
   EXPECT_GT(version("p"), v0);
   EXPECT_EQ(api_.pod("p").phase, cluster::PodPhase::kBound);
   EXPECT_EQ(api_.bind_conflicts(), 0u);
@@ -74,7 +74,7 @@ TEST_F(ConditionalBindFixture, StaleVersionFailsCleanly) {
   api_.submit(sgx_pod("p", Pages{100}));
   const std::uint64_t v0 = version("p");
   EXPECT_EQ(api_.try_bind("p", "sgx-1", v0 + 1),
-            ApiServer::BindOutcome::kStaleVersion);
+            ApiServer::BindStatus::kStaleVersion);
   // Nothing changed: still pending, still queued, version untouched.
   EXPECT_EQ(api_.pod("p").phase, cluster::PodPhase::kPending);
   EXPECT_EQ(version("p"), v0);
@@ -84,27 +84,27 @@ TEST_F(ConditionalBindFixture, StaleVersionFailsCleanly) {
 
 TEST_F(ConditionalBindFixture, EvictionInvalidatesOldSnapshots) {
   api_.submit(sgx_pod("p", Pages{100}));
-  api_.bind("p", "sgx-1");
+  ASSERT_TRUE(api_.try_bind("p", "sgx-1", version("p")).bound());
   api_.evict("p", "test");
   // The pod is pending again, but any snapshot taken before the eviction
   // carries a dead version.
   const std::uint64_t current = version("p");
   EXPECT_EQ(api_.try_bind("p", "sgx-1", current - 1),
-            ApiServer::BindOutcome::kStaleVersion);
+            ApiServer::BindStatus::kStaleVersion);
   EXPECT_EQ(api_.try_bind("p", "sgx-1", current),
-            ApiServer::BindOutcome::kBound);
+            ApiServer::BindStatus::kBound);
 }
 
 TEST_F(ConditionalBindFixture, UnknownAndMasterNodesAreUnavailable) {
   api_.submit(sgx_pod("p", Pages{100}));
   const std::uint64_t v0 = version("p");
   EXPECT_EQ(api_.try_bind("p", "ghost", v0),
-            ApiServer::BindOutcome::kNodeUnavailable);
+            ApiServer::BindStatus::kNodeUnavailable);
   EXPECT_EQ(api_.try_bind("p", "master", v0),
-            ApiServer::BindOutcome::kNodeUnavailable);
+            ApiServer::BindStatus::kNodeUnavailable);
   api_.fail_node("sgx-1");
   EXPECT_EQ(api_.try_bind("p", "sgx-1", v0),
-            ApiServer::BindOutcome::kNodeUnavailable);
+            ApiServer::BindStatus::kNodeUnavailable);
   EXPECT_EQ(api_.pod("p").phase, cluster::PodPhase::kPending);
 }
 
@@ -114,11 +114,11 @@ TEST_F(ConditionalBindFixture, TwoReplicasRacingForTheSamePod) {
   const std::uint64_t snapshot = version("p");
   // Replica A wins the race.
   EXPECT_EQ(api_.try_bind("p", "sgx-1", snapshot),
-            ApiServer::BindOutcome::kBound);
+            ApiServer::BindStatus::kBound);
   // Replica B's attempt on the same snapshot is a clean conflict: the pod
   // stays exactly where A put it.
   EXPECT_EQ(api_.try_bind("p", "sgx-1", snapshot),
-            ApiServer::BindOutcome::kNotPending);
+            ApiServer::BindStatus::kNotPending);
   EXPECT_EQ(api_.pod("p").node, "sgx-1");
   EXPECT_EQ(api_.bind_conflicts(), 1u);
   EXPECT_EQ(api_.assigned_pods("sgx-1").size(), 1u);
@@ -132,14 +132,14 @@ TEST_F(ConditionalBindFixture, RaceForTheLastEpcPagesAdmitsExactlyOne) {
   const std::uint64_t vb = version("b");
 
   // Replica A binds pod a — the CAS passes and the kubelet admits it.
-  EXPECT_EQ(api_.try_bind("a", "sgx-1", va), ApiServer::BindOutcome::kBound);
+  EXPECT_EQ(api_.try_bind("a", "sgx-1", va), ApiServer::BindStatus::kBound);
 
   // Replica B, leading during a split-brain window and acting on a view
   // that predates A's bind, tries to put pod b on the same node. The pod
   // CAS passes (b itself is unchanged) — only the kubelet admission guard
   // stands between the stale view and an EPC over-commit.
   EXPECT_EQ(api_.try_bind("b", "sgx-1", vb),
-            ApiServer::BindOutcome::kAdmissionRejected);
+            ApiServer::BindStatus::kAdmissionRejected);
   EXPECT_EQ(api_.guard_rejections(), 1u);
 
   // The loser re-enqueues without duplication: still pending, exactly one
@@ -161,10 +161,14 @@ TEST_F(ConditionalBindFixture, RaceForTheLastEpcPagesAdmitsExactlyOne) {
   // Once a is gone, b binds normally — no lost pod.
   api_.evict("a", "make room");
   EXPECT_EQ(api_.try_bind("b", "sgx-1", version("b")),
-            ApiServer::BindOutcome::kBound);
+            ApiServer::BindStatus::kBound);
 }
 
-TEST_F(ConditionalBindFixture, StrictBindStillThrowsOnContractViolations) {
+// The deprecated strict shim keeps its throwing contract for stragglers;
+// this is deliberately the only caller left in the tree.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST_F(ConditionalBindFixture, DeprecatedStrictShimStillThrows) {
   api_.submit(sgx_pod("p", Pages{100}));
   EXPECT_THROW(api_.bind("p", "ghost"), ContractViolation);
   EXPECT_THROW(api_.bind("p", "master"), ContractViolation);
@@ -173,6 +177,24 @@ TEST_F(ConditionalBindFixture, StrictBindStillThrowsOnContractViolations) {
   // Guard rejection surfaces as a contract violation on the strict path.
   api_.submit(sgx_pod("q", Pages{950}));
   EXPECT_THROW(api_.bind("q", "sgx-1"), ContractViolation);
+}
+#pragma GCC diagnostic pop
+
+TEST_F(ConditionalBindFixture, OutcomeCarriesTheObservedVersion) {
+  api_.submit(sgx_pod("p", Pages{100}));
+  const std::uint64_t v0 = version("p");
+
+  // A rejection reports the pod's live version: the loser can retry
+  // against it without a re-read.
+  const ApiServer::BindOutcome stale = api_.try_bind("p", "sgx-1", v0 + 7);
+  EXPECT_EQ(stale, ApiServer::BindStatus::kStaleVersion);
+  EXPECT_EQ(stale.resource_version, v0);
+  const ApiServer::BindOutcome won =
+      api_.try_bind("p", "sgx-1", stale.resource_version);
+  EXPECT_TRUE(won.bound());
+  // Success reports the post-bump version (the bound record's).
+  EXPECT_EQ(won.resource_version, version("p"));
+  EXPECT_GT(won.resource_version, v0);
 }
 
 }  // namespace

@@ -194,7 +194,9 @@ TEST_F(HaManualFixture, ElectionClearsInheritedBindBackoffs) {
   // A short-lived filler occupies 600 of 1000 pages; the 600-page pod
   // fits nowhere, so leader r0 arms a 60 s backoff against it.
   api_.submit(sgx_pod("filler", Pages{600}, Duration::seconds(2)));
-  api_.bind("filler", "sgx-1");
+  ASSERT_TRUE(api_.try_bind("filler", "sgx-1",
+                            api_.pod("filler").resource_version)
+                  .bound());
   api_.submit(sgx_pod("pod", Pages{600}, Duration::hours(1)));
   ASSERT_EQ(r0_.run_once(), 0u);
   ASSERT_TRUE(r0_.leading());

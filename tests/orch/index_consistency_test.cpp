@@ -199,7 +199,10 @@ TEST_F(IndexConsistencyFixture, RandomizedLifecycleAgreesWithFullScan) {
                              : kSchedulers[rng.uniform_int(1, 2)]);
       const auto& [node, name] = nodes[rng.uniform_int(0, 2)];
       if (!pending.empty() && node->schedulable()) {
-        api_.bind(pending.front(), name);
+        const cluster::PodName target = pending.front();
+        ASSERT_TRUE(api_.try_bind(target, name,
+                                  api_.pod(target).resource_version)
+                        .bound());
       }
     } else if (roll < 0.65) {
       const auto assigned =
@@ -263,11 +266,15 @@ TEST_F(IndexConsistencyFixture, PriorityOrderSurvivesEvictionRequeue) {
 
   // An evicted pod re-enters the queue at its original submission
   // position (the legacy submission-order-scan behavior).
-  api_.bind("high", "node-a");
+  ASSERT_TRUE(api_.try_bind("high", "node-a",
+                            api_.pod("high").resource_version)
+                  .bound());
   api_.evict("high", "test");
   EXPECT_EQ(api_.pending_pods("default-scheduler"),
             (std::vector<cluster::PodName>{"high", "low-1", "low-2"}));
-  api_.bind("low-1", "node-a");
+  ASSERT_TRUE(api_.try_bind("low-1", "node-a",
+                            api_.pod("low-1").resource_version)
+                  .bound());
   EXPECT_EQ(api_.pending_pods("default-scheduler"),
             (std::vector<cluster::PodName>{"high", "low-2"}));
 }

@@ -68,7 +68,9 @@ TEST_F(MonitoringFixture, HeapsterWritesPerPodMemorySamples) {
   Heapster heapster{sim_, api_, db_, Duration::seconds(10)};
   heapster.start();
   api_.submit(standard_pod("mem-pod", 4_GiB, Duration::minutes(5)));
-  api_.bind("mem-pod", "node-1");
+  ASSERT_TRUE(api_.try_bind("mem-pod", "node-1",
+                            api_.pod("mem-pod").resource_version)
+                  .bound());
   sim_.run_until(TimePoint::epoch() + Duration::seconds(35));
   heapster.stop();
 
@@ -88,7 +90,9 @@ TEST_F(MonitoringFixture, HeapsterEnforcesRetention) {
                     Duration::seconds(60)};
   heapster.start();
   api_.submit(standard_pod("long", 1_GiB, Duration::hours(2)));
-  api_.bind("long", "node-1");
+  ASSERT_TRUE(api_.try_bind("long", "node-1",
+                            api_.pod("long").resource_version)
+                  .bound());
   sim_.run_until(TimePoint::epoch() + Duration::minutes(30));
   heapster.stop();
   // Retention keeps ~6 samples (60 s window at 10 s period) per series.
@@ -97,7 +101,9 @@ TEST_F(MonitoringFixture, HeapsterEnforcesRetention) {
 
 TEST_F(MonitoringFixture, SgxProbeReportsPodEpcInBytes) {
   api_.submit(sgx_pod("enclave", Pages{2048}, Duration::minutes(5)));
-  api_.bind("enclave", "sgx-1");
+  ASSERT_TRUE(api_.try_bind("enclave", "sgx-1",
+                            api_.pod("enclave").resource_version)
+                  .bound());
   SgxProbe probe{sim_, *api_.find_node("sgx-1"), db_, Duration::seconds(10)};
   probe.start();
   sim_.run_until(TimePoint::epoch() + Duration::seconds(25));
@@ -119,7 +125,9 @@ TEST_F(MonitoringFixture, ProbeRejectsNonSgxNode) {
 
 TEST_F(MonitoringFixture, ProbeReportsZeroAfterPodEnds) {
   api_.submit(sgx_pod("short", Pages{1024}, Duration::seconds(15)));
-  api_.bind("short", "sgx-1");
+  ASSERT_TRUE(api_.try_bind("short", "sgx-1",
+                            api_.pod("short").resource_version)
+                  .bound());
   SgxProbe probe{sim_, *api_.find_node("sgx-1"), db_, Duration::seconds(10)};
   probe.start();
   sim_.run_until(TimePoint::epoch() + Duration::seconds(60));
@@ -178,8 +186,10 @@ TEST_F(MonitoringFixture, ProbeAndHeapsterShareDatabase) {
   daemonset.start();
   api_.submit(standard_pod("m", 1_GiB, Duration::minutes(2)));
   api_.submit(sgx_pod("e", Pages{512}, Duration::minutes(2)));
-  api_.bind("m", "node-1");
-  api_.bind("e", "sgx-1");
+  ASSERT_TRUE(
+      api_.try_bind("m", "node-1", api_.pod("m").resource_version).bound());
+  ASSERT_TRUE(
+      api_.try_bind("e", "sgx-1", api_.pod("e").resource_version).bound());
   sim_.run_until(TimePoint::epoch() + Duration::seconds(30));
   heapster.stop();
   daemonset.stop();
