@@ -46,9 +46,27 @@ std::string ClusterMetrics::listing1_query() const {
          " GROUP BY pod_name, nodename) GROUP BY nodename";
 }
 
+tsdb::ql::ResultSet ClusterMetrics::run(const tsdb::ql::PreparedQuery& query,
+                                        TimePoint now) const {
+  tsdb::ql::ExecStats stats;
+  tsdb::ql::ExecOptions options;
+  options.stats = &stats;
+  tsdb::ql::ResultSet result =
+      query.execute(*db_, now, window_binding_, options);
+  last_stats_ = QueryDiagnostics{};
+  for (const tsdb::ql::ShardScanStats& shard : stats.shards) {
+    if (shard.series == 0 && shard.points == 0) continue;
+    ++last_stats_.shards_scanned;
+    last_stats_.series_scanned += shard.series;
+    last_stats_.points_scanned += shard.points;
+  }
+  last_stats_.rollup_level_us = stats.rollup_level_us;
+  return result;
+}
+
 std::vector<ClusterMetrics::PodUsage> ClusterMetrics::per_pod(
     const tsdb::ql::PreparedQuery& query, TimePoint now) const {
-  const tsdb::ql::ResultSet result = query.execute(*db_, now, window_binding_);
+  const tsdb::ql::ResultSet result = run(query, now);
   std::vector<PodUsage> usages;
   usages.reserve(result.rows.size());
   for (const tsdb::ql::Row& row : result.rows) {
@@ -66,7 +84,7 @@ std::vector<ClusterMetrics::PodUsage> ClusterMetrics::per_pod(
 
 std::map<cluster::NodeName, Bytes> ClusterMetrics::per_node(
     const tsdb::ql::PreparedQuery& query, TimePoint now) const {
-  const tsdb::ql::ResultSet result = query.execute(*db_, now, window_binding_);
+  const tsdb::ql::ResultSet result = run(query, now);
   std::map<cluster::NodeName, Bytes> usage;
   for (const tsdb::ql::Row& row : result.rows) {
     const auto node_it = row.tags.find("nodename");

@@ -65,11 +65,27 @@ class ClusterMetrics {
   /// threshold to decide when to stop trusting measurements.
   [[nodiscard]] std::optional<Duration> staleness(TimePoint now) const;
 
+  /// Telemetry of the most recent query this view executed: how many TSDB
+  /// shards and series the fan-out touched, how many points (or rollup
+  /// buckets) it folded, and which rollup level served it (0 = raw).
+  struct QueryDiagnostics {
+    std::size_t shards_scanned = 0;
+    std::size_t series_scanned = 0;
+    std::size_t points_scanned = 0;
+    std::int64_t rollup_level_us = 0;
+  };
+  [[nodiscard]] const QueryDiagnostics& last_query_stats() const {
+    return last_stats_;
+  }
+
  private:
   [[nodiscard]] std::vector<PodUsage> per_pod(
       const tsdb::ql::PreparedQuery& query, TimePoint now) const;
   [[nodiscard]] std::map<cluster::NodeName, Bytes> per_node(
       const tsdb::ql::PreparedQuery& query, TimePoint now) const;
+
+  [[nodiscard]] tsdb::ql::ResultSet run(const tsdb::ql::PreparedQuery& query,
+                                        TimePoint now) const;
 
   const tsdb::Database* db_;
   Duration window_;
@@ -78,6 +94,7 @@ class ClusterMetrics {
   tsdb::ql::PreparedQuery epc_outer_;
   tsdb::ql::PreparedQuery memory_inner_;
   tsdb::ql::PreparedQuery memory_outer_;
+  mutable QueryDiagnostics last_stats_;
 };
 
 }  // namespace sgxo::core

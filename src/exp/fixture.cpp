@@ -9,7 +9,9 @@ namespace sgxo::exp {
 using namespace sgxo::literals;
 
 SimulatedCluster::SimulatedCluster(ClusterConfig config)
-    : config_(std::move(config)), perf_(config_.perf) {
+    : config_(std::move(config)),
+      db_(config_.tsdb_shards),
+      perf_(config_.perf) {
   api_ = std::make_unique<orch::ApiServer>(sim_);
 
   // The evaluation image everyone runs (pulled once per node, then cached).
@@ -203,6 +205,34 @@ void SimulatedCluster::install_fault_handlers(sim::FaultInjector& injector,
   injector.on_heal(FaultKind::kTsdbStaleReads, [this](const FaultSpec&) {
     db_.set_read_horizon(std::nullopt);
   });
+
+  // Per-shard TSDB faults: the target is a decimal shard index (wrapped
+  // into range so a plan generated for a bigger database stays valid).
+  const auto shard_of = [this](const FaultSpec& spec) {
+    std::size_t shard = 0;
+    try {
+      shard = static_cast<std::size_t>(std::stoul(spec.target));
+    } catch (const std::exception&) {
+      shard = 0;
+    }
+    return shard % db_.shard_count();
+  };
+  injector.on_inject(FaultKind::kTsdbShardWriteError,
+                     [this, shard_of](const FaultSpec& spec) {
+                       db_.set_shard_write_fault(shard_of(spec), true);
+                     });
+  injector.on_heal(FaultKind::kTsdbShardWriteError,
+                   [this, shard_of](const FaultSpec& spec) {
+                     db_.set_shard_write_fault(shard_of(spec), false);
+                   });
+  injector.on_inject(FaultKind::kTsdbShardStaleReads,
+                     [this, shard_of](const FaultSpec& spec) {
+                       db_.set_shard_read_horizon(shard_of(spec), sim_.now());
+                     });
+  injector.on_heal(FaultKind::kTsdbShardStaleReads,
+                   [this, shard_of](const FaultSpec& spec) {
+                     db_.set_shard_read_horizon(shard_of(spec), std::nullopt);
+                   });
 
   if (restarter != nullptr) {
     injector.on_inject(FaultKind::kWatchDisconnect,

@@ -40,6 +40,8 @@ struct ClusterConfig {
   Duration heapster_period = Duration::seconds(10);
   Duration probe_period = Duration::seconds(10);
   Duration metrics_window = Duration::seconds(25);
+  /// TSDB shard count (independent lock domains; see tsdb::DatabaseConfig).
+  std::size_t tsdb_shards = 1;
 };
 
 class SimulatedCluster {

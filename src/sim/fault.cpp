@@ -28,6 +28,10 @@ const char* to_string(FaultKind kind) {
       return "lease-expiry";
     case FaultKind::kSplitBrainWindow:
       return "split-brain-window";
+    case FaultKind::kTsdbShardWriteError:
+      return "tsdb-shard-write-error";
+    case FaultKind::kTsdbShardStaleReads:
+      return "tsdb-shard-stale-reads";
   }
   return "unknown";
 }
@@ -153,6 +157,28 @@ FaultPlan random_plan(Rng& rng, const RandomPlanConfig& config) {
           }
           fault.kind = FaultKind::kHeapsterDropout;
         }
+        break;
+      case FaultKind::kTsdbShardWriteError:
+        // Without shard targets (a 1-shard database) the equivalent
+        // disruption is the database-wide write error.
+        if (config.tsdb_shard_targets.empty()) {
+          fault.kind = FaultKind::kTsdbWriteError;
+          break;
+        }
+        fault.target = config.tsdb_shard_targets[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(
+                                   config.tsdb_shard_targets.size()) -
+                                   1))];
+        break;
+      case FaultKind::kTsdbShardStaleReads:
+        if (config.tsdb_shard_targets.empty()) {
+          fault.kind = FaultKind::kTsdbStaleReads;
+          break;
+        }
+        fault.target = config.tsdb_shard_targets[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(
+                                   config.tsdb_shard_targets.size()) -
+                                   1))];
         break;
       default:
         break;

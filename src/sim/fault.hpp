@@ -56,10 +56,16 @@ enum class FaultKind {
   /// contending replica believes it leads. The window where conditional
   /// binds and the kubelet admission guard are the only safety net.
   kSplitBrainWindow,
+  /// One TSDB shard (target = decimal shard index) drops every write
+  /// routed to it; other shards keep ingesting.
+  kTsdbShardWriteError,
+  /// One TSDB shard (target = decimal shard index) serves reads frozen at
+  /// the activation instant while other shards stay live.
+  kTsdbShardStaleReads,
 };
 
 /// Number of FaultKind values (random_plan draws uniformly over them).
-inline constexpr int kFaultKindCount = 10;
+inline constexpr int kFaultKindCount = 12;
 
 [[nodiscard]] const char* to_string(FaultKind kind);
 
@@ -107,6 +113,11 @@ struct RandomPlanConfig {
   /// (like crash_targets) so non-HA harness configs keep their plans.
   std::vector<std::string> scheduler_targets;
   std::vector<std::string> lease_targets;
+  /// TSDB shard indices (as decimal strings) eligible for the per-shard
+  /// fault kinds. Empty downgrades those draws to the database-wide
+  /// kTsdbWriteError / kTsdbStaleReads, so 1-shard harness configs keep
+  /// their plans.
+  std::vector<std::string> tsdb_shard_targets;
 };
 
 /// Draws a randomized, fully-healing fault plan. Every draw comes from

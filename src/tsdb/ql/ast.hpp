@@ -20,7 +20,25 @@
 
 namespace sgxo::tsdb::ql {
 
-enum class Aggregate { kMax, kMin, kSum, kMean, kCount, kLast, kFirst };
+enum class Aggregate {
+  kMax,
+  kMin,
+  kSum,
+  kMean,
+  kCount,
+  kLast,
+  kFirst,
+  // Quantiles over a deterministic mergeable log-bucket sketch. Not
+  // decomposable from rollup summaries, so they always scan raw points.
+  kP50,
+  kP95,
+  kP99,
+};
+
+/// True for the quantile aggregates (kP50/kP95/kP99).
+[[nodiscard]] bool is_quantile(Aggregate agg);
+/// The quantile rank (0.5/0.95/0.99); 0 for non-quantile aggregates.
+[[nodiscard]] double quantile_rank(Aggregate agg);
 
 [[nodiscard]] const char* to_string(Aggregate agg);
 /// Case-insensitive lookup; nullopt for unknown names.

@@ -1,5 +1,6 @@
 #include "tsdb/ql/lexer.hpp"
 
+#include <atomic>
 #include <cctype>
 
 namespace sgxo::tsdb::ql {
@@ -58,7 +59,22 @@ std::int64_t unit_multiplier(const std::string& unit, std::size_t offset) {
 
 }  // namespace
 
+namespace {
+std::atomic<std::uint64_t> g_parse_work{0};
+}  // namespace
+
+std::uint64_t parse_work_count() {
+  return g_parse_work.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+void count_parse_work() {
+  g_parse_work.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
 std::vector<Token> lex(const std::string& query) {
+  detail::count_parse_work();
   std::vector<Token> tokens;
   std::size_t i = 0;
   const std::size_t n = query.size();

@@ -57,4 +57,13 @@ class QueryError : public std::runtime_error {
 /// parser matches them case-insensitively.
 [[nodiscard]] std::vector<Token> lex(const std::string& query);
 
+/// Process-wide monotone counter, bumped by every lex() and parse() call.
+/// Regression tests snapshot it around a prepared query's execute loop to
+/// prove the hot path does zero parse work.
+[[nodiscard]] std::uint64_t parse_work_count();
+
+namespace detail {
+void count_parse_work();
+}  // namespace detail
+
 }  // namespace sgxo::tsdb::ql

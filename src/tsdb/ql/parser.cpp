@@ -264,6 +264,7 @@ class Parser {
 }  // namespace
 
 SelectStmt parse(const std::string& query) {
+  detail::count_parse_work();
   Parser parser{lex(query)};
   return parser.parse_statement();
 }

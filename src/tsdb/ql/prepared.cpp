@@ -27,6 +27,7 @@ void collect_params(const SelectStmt& stmt, std::vector<std::string>& out) {
 PreparedQuery::PreparedQuery(std::string text, SelectStmt stmt)
     : text_(std::move(text)), stmt_(std::move(stmt)) {
   collect_params(stmt_, params_);
+  analysis_ = analyze(stmt_);
 }
 
 PreparedQuery PreparedQuery::prepare(std::string text) {
@@ -36,12 +37,20 @@ PreparedQuery PreparedQuery::prepare(std::string text) {
 
 ResultSet PreparedQuery::execute(const Database& db, TimePoint now,
                                  const QueryParams& params) const {
+  return execute(db, now, params, ExecOptions{});
+}
+
+ResultSet PreparedQuery::execute(const Database& db, TimePoint now,
+                                 const QueryParams& params,
+                                 const ExecOptions& options) const {
   for (const std::string& name : params_) {
     if (params.find(name) == params.end()) {
       throw QueryError{"unbound query parameter '$" + name + "'"};
     }
   }
-  return ql::execute(stmt_, db, now, params);
+  ExecOptions with_analysis = options;
+  with_analysis.analysis = analysis_.get();
+  return ql::execute(stmt_, db, now, params, with_analysis);
 }
 
 }  // namespace sgxo::tsdb::ql

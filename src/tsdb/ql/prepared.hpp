@@ -6,12 +6,17 @@
 // parse into an AST held for the lifetime of the caller; execution only
 // binds the now() anchor and any named duration parameters ($window).
 //
+// Prepare also front-loads the statement's static analysis (rollup
+// eligibility per node, metric resolution) so execute does zero parse or
+// plan work — it binds parameters, resolves window bounds, and scans.
+//
 // The one-shot ql::query(text, db, now) convenience is a thin wrapper
 // over prepare + execute, so both paths share one executor and produce
 // identical results by construction.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +39,11 @@ class PreparedQuery {
   /// binding is a QueryError, surfaced before any rows are read).
   [[nodiscard]] ResultSet execute(const Database& db, TimePoint now,
                                   const QueryParams& params = {}) const;
+  /// As above, with executor options (scan mode, stats). The cached
+  /// analysis always rides along; `options.analysis` is ignored.
+  [[nodiscard]] ResultSet execute(const Database& db, TimePoint now,
+                                  const QueryParams& params,
+                                  const ExecOptions& options) const;
 
   [[nodiscard]] const SelectStmt& stmt() const { return stmt_; }
   [[nodiscard]] const std::string& text() const { return text_; }
@@ -48,6 +58,7 @@ class PreparedQuery {
   std::string text_;
   SelectStmt stmt_;
   std::vector<std::string> params_;
+  std::shared_ptr<const QueryAnalysis> analysis_;
 };
 
 }  // namespace sgxo::tsdb::ql

@@ -49,6 +49,12 @@ struct ScenarioConfig {
   /// by behind a leader lease. With ha_faults, lease fault kinds downgrade
   /// to scheduler crashes — there is no lease to expire.
   bool shared_state = false;
+  /// TSDB shard count for the cluster's metrics store.
+  std::size_t tsdb_shards = 1;
+  /// Adds the per-shard TSDB fault kinds (shard write-error, shard stale
+  /// reads) to the random plan's draw targets. Only meaningful with
+  /// tsdb_shards > 1 (random_plan downgrades them otherwise).
+  bool tsdb_shard_faults = false;
 };
 
 struct ScenarioResult {
@@ -90,7 +96,9 @@ inline ScenarioResult run_scenario(std::uint64_t seed,
   ScenarioResult result;
   Rng rng{seed};
 
-  SimulatedCluster cluster;
+  ClusterConfig cluster_config;
+  cluster_config.tsdb_shards = config.tsdb_shards;
+  SimulatedCluster cluster{cluster_config};
   const std::size_t replica_count =
       std::max<std::size_t>(1, config.scheduler_replicas);
   std::vector<core::SgxAwareScheduler*> replicas;
@@ -160,6 +168,11 @@ inline ScenarioResult run_scenario(std::uint64_t seed,
     // Shared-state fleets leave lease_targets empty: random_plan downgrades
     // the lease fault kinds to scheduler crashes against the fleet.
   }
+  if (config.tsdb_shard_faults) {
+    for (std::size_t s = 0; s < cluster.db().shard_count(); ++s) {
+      plan_config.tsdb_shard_targets.push_back(std::to_string(s));
+    }
+  }
   Rng plan_rng = rng.split();
   const sim::FaultPlan plan = sim::random_plan(plan_rng, plan_config);
   result.plan = plan.describe();
@@ -209,6 +222,15 @@ inline ScenarioResult run_scenario(std::uint64_t seed,
   const TimePoint after_plan =
       TimePoint::epoch() + plan_end + Duration::seconds(1);
   if (after_plan > cluster.sim().now()) cluster.sim().run_until(after_plan);
+  // A crash near the end of the plan can fail a pod inside the
+  // resubmission window — every existing record is terminal, so the first
+  // quiescence check passes, but the retry is still in flight. Reconverge
+  // now that every fault has healed; if already quiescent this advances
+  // no time and the event log is unchanged.
+  result.converged =
+      cluster.run_until_quiescent(replayer.scheduled_jobs(),
+                                  config.deadline) &&
+      result.converged;
   restarter.stop();
   cluster.stop_all();
 

@@ -206,6 +206,92 @@ TEST_F(ChaosFixture, StaleReadsTripTheSchedulerIntoRequestFallback) {
   EXPECT_EQ(scheduler_->degraded_cycles(), degraded);
 }
 
+/// Same wiring over a 4-shard metrics store, for the per-shard faults.
+class ShardedTsdbChaosFixture : public ::testing::Test {
+ protected:
+  static ClusterConfig sharded_config() {
+    ClusterConfig config;
+    config.tsdb_shards = 4;
+    return config;
+  }
+
+  ShardedTsdbChaosFixture()
+      : cluster_(sharded_config()), injector_(cluster_.sim()) {
+    scheduler_ = &cluster_.add_sgx_scheduler(core::PlacementPolicy::kBinpack);
+    cluster_.api().set_default_scheduler(scheduler_->name());
+    cluster_.start_monitoring();
+    cluster_.install_fault_handlers(injector_);
+  }
+
+  ~ShardedTsdbChaosFixture() override { cluster_.stop_all(); }
+
+  void run_to(Duration t) {
+    cluster_.sim().run_until(TimePoint::epoch() + t);
+  }
+
+  SimulatedCluster cluster_;
+  sim::FaultInjector injector_;
+  core::SgxAwareScheduler* scheduler_ = nullptr;
+};
+
+TEST_F(ShardedTsdbChaosFixture, ShardWriteErrorDropsOnlyThatShard) {
+  cluster_.api().submit(sgx_pod("enclave", Pages{1000}, Duration::hours(2)));
+  run_to(Duration::seconds(30));
+  // Target the shard the pod's own EPC series routes to, so the fault
+  // provably intersects live traffic.
+  const cluster::NodeName node = cluster_.api().pod("enclave").node;
+  ASSERT_FALSE(node.empty());
+  const std::size_t victim = cluster_.db().shard_of(
+      "sgx/epc", {{"pod_name", "enclave"}, {"nodename", node}});
+
+  sim::FaultPlan plan;
+  plan.faults.push_back(fault(sim::FaultKind::kTsdbShardWriteError,
+                              Duration::minutes(1), Duration::minutes(2),
+                              std::to_string(victim)));
+  injector_.arm(plan);
+
+  run_to(Duration::minutes(2));
+  EXPECT_TRUE(cluster_.db().shard_write_fault(victim));
+  EXPECT_GT(cluster_.db().shard_failed_writes(victim), 0u);
+  // Every failed write happened on the targeted shard; the others kept
+  // every sample.
+  EXPECT_EQ(cluster_.db().failed_writes(),
+            cluster_.db().shard_failed_writes(victim));
+  for (std::size_t s = 0; s < cluster_.db().shard_count(); ++s) {
+    if (s != victim) EXPECT_EQ(cluster_.db().shard_failed_writes(s), 0u);
+  }
+
+  run_to(Duration::minutes(6));
+  EXPECT_FALSE(cluster_.db().shard_write_fault(victim));
+  const auto newest = cluster_.db().newest_time("sgx/epc");
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_GT(*newest, TimePoint::epoch() + Duration::minutes(4));
+}
+
+TEST_F(ShardedTsdbChaosFixture, ShardStaleReadsFreezeOnlyThatShard) {
+  cluster_.api().submit(sgx_pod("enclave", Pages{1000}, Duration::hours(2)));
+  run_to(Duration::seconds(30));
+
+  sim::FaultPlan plan;
+  plan.faults.push_back(fault(sim::FaultKind::kTsdbShardStaleReads,
+                              Duration::minutes(1), Duration::minutes(2),
+                              "1"));
+  injector_.arm(plan);
+
+  run_to(Duration::minutes(2));
+  // Fault times are relative to arming (t=30s): the horizon freezes at
+  // the activation instant, 90 s.
+  ASSERT_TRUE(cluster_.db().effective_read_horizon(1).has_value());
+  EXPECT_EQ(*cluster_.db().effective_read_horizon(1),
+            TimePoint::epoch() + Duration::seconds(90));
+  for (const std::size_t s : {0u, 2u, 3u}) {
+    EXPECT_FALSE(cluster_.db().effective_read_horizon(s).has_value());
+  }
+
+  run_to(Duration::minutes(4));
+  EXPECT_FALSE(cluster_.db().effective_read_horizon(1).has_value());
+}
+
 TEST_F(ChaosFixture, WatchDisconnectMissesFailuresUntilResync) {
   cluster_.api().submit(sgx_pod("victim", Pages{1000}, Duration::hours(2)));
   run_to(Duration::seconds(30));
@@ -293,6 +379,26 @@ TEST(ChaosDeterminism, SharedStateScenarioWithSameSeedIsBitIdentical) {
   }
 }
 
+TEST(ChaosDeterminism, ShardedTsdbScenarioWithSameSeedIsBitIdentical) {
+  // A 4-shard metrics store with the per-shard fault kinds in the plan:
+  // shard routing, per-shard fault activation, and the scheduler's
+  // degraded-metrics behavior must all replay exactly.
+  chaos::ScenarioConfig config;
+  config.tsdb_shards = 4;
+  config.tsdb_shard_faults = true;
+  const chaos::ScenarioResult a = chaos::run_scenario(42, config);
+  const chaos::ScenarioResult b = chaos::run_scenario(42, config);
+  EXPECT_EQ(a.plan, b.plan);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.healed, b.healed);
+  EXPECT_EQ(a.succeeded, b.succeeded);
+  EXPECT_EQ(a.degraded_cycles, b.degraded_cycles);
+  ASSERT_EQ(a.event_log.size(), b.event_log.size());
+  for (std::size_t i = 0; i < a.event_log.size(); ++i) {
+    ASSERT_EQ(a.event_log[i], b.event_log[i]) << "first divergence at " << i;
+  }
+}
+
 TEST(ChaosDeterminism, DifferentSeedsProduceDifferentPlans) {
   Rng rng_a{7};
   Rng rng_b{8};
@@ -347,6 +453,23 @@ TEST(ChaosSweep, SharedStateSmokeTenSeeds) {
     EXPECT_EQ(result.elections, 0u) << "seed " << seed;
     EXPECT_EQ(result.standby_cycles, 0u) << "seed " << seed;
     EXPECT_GT(result.batches, 0u) << "seed " << seed;
+  }
+}
+
+TEST(ChaosSweep, ShardedTsdbSmokeTenSeeds) {
+  // The 500-seed per-shard-fault sweep lives in chaos_tsdb_sweep_test.cpp
+  // (label: chaos); this keeps a slice of it in the default suite.
+  chaos::ScenarioConfig config;
+  config.tsdb_shards = 4;
+  config.tsdb_shard_faults = true;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const chaos::ScenarioResult result = chaos::run_scenario(seed, config);
+    for (const std::string& violation : result.violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << violation
+                    << "\n  plan: " << result.plan;
+    }
+    EXPECT_EQ(result.injected, result.healed)
+        << "seed " << seed << " plan: " << result.plan;
   }
 }
 

@@ -193,8 +193,8 @@ TEST_F(MonitoringFixture, ProbeAndHeapsterShareDatabase) {
   sim_.run_until(TimePoint::epoch() + Duration::seconds(30));
   heapster.stop();
   daemonset.stop();
-  EXPECT_NE(db_.find("memory/usage"), nullptr);
-  EXPECT_NE(db_.find("sgx/epc"), nullptr);
+  EXPECT_TRUE(db_.has_measurement("memory/usage"));
+  EXPECT_TRUE(db_.has_measurement("sgx/epc"));
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "common/error.hpp"
 
 namespace sgxo::tsdb {
@@ -86,10 +90,11 @@ TEST(Database, WriteCreatesMeasurementsAndSeries) {
   db.write("sgx/epc", {{"pod_name", "p1"}, {"nodename", "n1"}}, at(1), 42.0);
   db.write("sgx/epc", {{"pod_name", "p2"}, {"nodename", "n1"}}, at(1), 7.0);
   db.write("memory/usage", {{"pod_name", "p1"}}, at(1), 1.0);
-  ASSERT_NE(db.find("sgx/epc"), nullptr);
-  EXPECT_EQ(db.find("sgx/epc")->series_count(), 2u);
-  EXPECT_EQ(db.find("nothing"), nullptr);
+  ASSERT_TRUE(db.has_measurement("sgx/epc"));
+  EXPECT_EQ(db.series_count("sgx/epc"), 2u);
+  EXPECT_FALSE(db.has_measurement("nothing"));
   EXPECT_EQ(db.total_points(), 3u);
+  EXPECT_EQ(db.points_in("sgx/epc"), 2u);
   EXPECT_EQ(db.measurement_names(),
             (std::vector<std::string>{"memory/usage", "sgx/epc"}));
 }
@@ -113,6 +118,265 @@ TEST(Database, RetentionDropsOldPoints) {
 TEST(Database, RetentionRequiresPositiveWindow) {
   Database db;
   EXPECT_THROW(db.enforce_retention(at(10), Duration{}), ContractViolation);
+}
+
+// --- Time-partitioned chunks -------------------------------------------
+
+TEST(Series, PartitionsIntoAlignedChunks) {
+  SeriesOptions options;
+  options.chunk_width_us = Duration::seconds(100).micros_count();
+  Series s{{}, options};
+  for (int i = 0; i < 250; i += 10) {
+    s.append({at(i), static_cast<double>(i)});
+  }
+  // Points span [0, 240] → chunks [0,100), [100,200), [200,300).
+  EXPECT_EQ(s.chunk_count(), 3u);
+  EXPECT_EQ(s.size(), 25u);
+  const auto& chunks = s.chunks();
+  EXPECT_EQ(chunks[0].start_us, 0);
+  EXPECT_EQ(chunks[0].end_us, 100'000'000);
+  EXPECT_EQ(chunks[1].start_us, 100'000'000);
+  EXPECT_EQ(chunks[2].start_us, 200'000'000);
+}
+
+TEST(Series, OutOfOrderAcrossChunkBoundary) {
+  SeriesOptions options;
+  options.chunk_width_us = Duration::seconds(100).micros_count();
+  Series s{{}, options};
+  s.append({at(150), 150.0});
+  s.append({at(50), 50.0});   // lands in an earlier, newly created chunk
+  s.append({at(120), 120.0});  // lands mid-chunk, before 150
+  ASSERT_EQ(s.size(), 3u);
+  const auto flat = s.points();
+  EXPECT_EQ(flat[0].time, at(50));
+  EXPECT_EQ(flat[1].time, at(120));
+  EXPECT_EQ(flat[2].time, at(150));
+  EXPECT_EQ(s.chunk_count(), 2u);
+}
+
+TEST(Series, WindowStraddlesChunkBoundary) {
+  SeriesOptions options;
+  options.chunk_width_us = Duration::seconds(100).micros_count();
+  Series s{{}, options};
+  for (int i = 0; i < 300; i += 10) {
+    s.append({at(i), static_cast<double>(i)});
+  }
+  const auto window = s.in_window(at(90), at(210));
+  ASSERT_EQ(window.size(), 13u);  // 90,100,...,210
+  EXPECT_EQ(window.front().time, at(90));
+  EXPECT_EQ(window.back().time, at(210));
+}
+
+TEST(Series, DropBeforeAcrossChunks) {
+  SeriesOptions options;
+  options.chunk_width_us = Duration::seconds(100).micros_count();
+  Series s{{}, options};
+  for (int i = 0; i < 300; i += 10) {
+    s.append({at(i), static_cast<double>(i)});
+  }
+  // Horizon 150 s: chunk [0,100) drops whole, [100,200) trims 100..140.
+  EXPECT_EQ(s.drop_before(at(150)), 15u);
+  EXPECT_EQ(s.size(), 15u);
+  EXPECT_EQ(s.points().front().time, at(150));
+  EXPECT_EQ(s.chunk_count(), 2u);
+}
+
+TEST(Series, CompactMergesSealedChunks) {
+  SeriesOptions options;
+  options.chunk_width_us = Duration::seconds(100).micros_count();
+  Series s{{}, options};
+  for (int i = 0; i < 400; i += 10) {
+    s.append({at(i), static_cast<double>(i)});
+  }
+  ASSERT_EQ(s.chunk_count(), 4u);
+  // Everything before 300 s is sealed → the first three chunks merge; the
+  // live chunk [300,400) is left alone.
+  const std::size_t merged =
+      s.compact(Duration::seconds(300).micros_count());
+  EXPECT_GT(merged, 0u);
+  EXPECT_EQ(s.chunk_count(), 2u);
+  EXPECT_EQ(s.size(), 40u);
+  const auto flat = s.points();
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(flat[static_cast<std::size_t>(i)].time, at(i * 10));
+  }
+}
+
+// --- Rollups -----------------------------------------------------------
+
+TEST(Series, RollupBucketsAggregateCorrectly) {
+  Series s{{}};
+  // 10 s level: points at 1..9 s fall into bucket [0,10); 11..19 s into
+  // [10,20).
+  s.append({at(1), 4.0});
+  s.append({at(5), 2.0});
+  s.append({at(9), 6.0});
+  s.append({at(11), 10.0});
+  const auto& level0 = s.rollup(0);
+  ASSERT_EQ(level0.size(), 2u);
+  EXPECT_EQ(level0[0].start_us, 0);
+  EXPECT_EQ(level0[0].count, 3u);
+  EXPECT_DOUBLE_EQ(level0[0].sum, 12.0);
+  EXPECT_DOUBLE_EQ(level0[0].min, 2.0);
+  EXPECT_DOUBLE_EQ(level0[0].max, 6.0);
+  EXPECT_DOUBLE_EQ(level0[0].first, 4.0);
+  EXPECT_DOUBLE_EQ(level0[0].last, 6.0);
+  EXPECT_EQ(level0[1].start_us, 10'000'000);
+  EXPECT_EQ(level0[1].count, 1u);
+}
+
+TEST(Series, RollupHandlesOutOfOrderIngest) {
+  Series s{{}};
+  s.append({at(9), 9.0});
+  s.append({at(1), 1.0});  // earlier point in the same bucket
+  const auto& level0 = s.rollup(0);
+  ASSERT_EQ(level0.size(), 1u);
+  EXPECT_DOUBLE_EQ(level0[0].first, 1.0);
+  EXPECT_EQ(level0[0].first_time_us, Duration::seconds(1).micros_count());
+  EXPECT_DOUBLE_EQ(level0[0].last, 9.0);
+}
+
+TEST(Series, RollupsDisabledWhenConfigured) {
+  SeriesOptions options;
+  options.rollups = false;
+  Series s{{}, options};
+  s.append({at(1), 1.0});
+  EXPECT_TRUE(s.rollup(0).empty());
+  EXPECT_TRUE(s.rollup(1).empty());
+}
+
+TEST(Series, RetentionDropsOnlyFullyExpiredRollupBuckets) {
+  Series s{{}};
+  s.append({at(5), 5.0});
+  s.append({at(15), 15.0});
+  s.append({at(25), 25.0});
+  ASSERT_EQ(s.rollup(0).size(), 3u);
+  // Horizon 12 s: bucket [0,10) is fully expired; [10,20) straddles the
+  // horizon and must survive (queries under the horizon fall back to raw).
+  s.drop_before(at(12));
+  ASSERT_EQ(s.rollup(0).size(), 2u);
+  EXPECT_EQ(s.rollup(0)[0].start_us, 10'000'000);
+}
+
+// --- Sharded database --------------------------------------------------
+
+TEST(Database, ShardRoutingIsStableAndInRange) {
+  Database db{4};
+  EXPECT_EQ(db.shard_count(), 4u);
+  const Tags tags{{"pod_name", "p1"}};
+  const std::size_t shard = db.shard_of("sgx/epc", tags);
+  EXPECT_LT(shard, 4u);
+  EXPECT_EQ(db.shard_of("sgx/epc", tags), shard);  // deterministic
+}
+
+TEST(Database, ShardedWritesAreVisibleAcrossAllReads) {
+  Database db{4};
+  for (int i = 0; i < 64; ++i) {
+    db.write("m", {{"s", std::to_string(i)}}, at(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(db.total_points(), 64u);
+  EXPECT_EQ(db.series_count("m"), 64u);
+  std::size_t seen = 0;
+  db.for_each_series("m", [&](const Series& series) { seen += series.size(); });
+  EXPECT_EQ(seen, 64u);
+}
+
+TEST(Database, ForEachSeriesMergesShardsInCanonicalOrder) {
+  Database sharded{4};
+  Database flat{1};
+  for (int i = 0; i < 32; ++i) {
+    const Tags tags{{"s", std::to_string(i)}};
+    sharded.write("m", tags, at(i), 1.0);
+    flat.write("m", tags, at(i), 1.0);
+  }
+  std::vector<std::string> sharded_keys;
+  sharded.for_each_series("m", [&](const Series& series) {
+    sharded_keys.push_back(tags_key(series.tags()));
+  });
+  std::vector<std::string> flat_keys;
+  flat.for_each_series("m", [&](const Series& series) {
+    flat_keys.push_back(tags_key(series.tags()));
+  });
+  EXPECT_EQ(sharded_keys, flat_keys);
+  EXPECT_TRUE(std::is_sorted(sharded_keys.begin(), sharded_keys.end()));
+}
+
+TEST(Database, WriteManyGroupsByShardAndCounts) {
+  Database db{4};
+  std::vector<Database::Sample> batch;
+  for (int i = 0; i < 20; ++i) {
+    batch.push_back({"m", {{"s", std::to_string(i % 5)}}, at(i),
+                     static_cast<double>(i)});
+  }
+  EXPECT_EQ(db.write_many(batch), 20u);
+  EXPECT_EQ(db.total_points(), 20u);
+}
+
+TEST(Database, PerShardWriteFaultOnlyDropsThatShard) {
+  Database db{4};
+  // Find two tag sets landing on different shards.
+  const Tags a{{"s", "0"}};
+  Tags b;
+  for (int i = 1; i < 64; ++i) {
+    b = Tags{{"s", std::to_string(i)}};
+    if (db.shard_of("m", b) != db.shard_of("m", a)) break;
+  }
+  ASSERT_NE(db.shard_of("m", a), db.shard_of("m", b));
+  db.set_shard_write_fault(db.shard_of("m", a), true);
+  EXPECT_FALSE(db.write("m", a, at(1), 1.0));
+  EXPECT_TRUE(db.write("m", b, at(1), 1.0));
+  EXPECT_EQ(db.shard_failed_writes(db.shard_of("m", a)), 1u);
+  EXPECT_EQ(db.failed_writes(), 1u);
+  db.set_shard_write_fault(db.shard_of("m", a), false);
+  EXPECT_TRUE(db.write("m", a, at(2), 2.0));
+  EXPECT_EQ(db.total_points(), 2u);
+}
+
+TEST(Database, EffectiveReadHorizonIsMinOfGlobalAndShard) {
+  Database db{2};
+  EXPECT_FALSE(db.effective_read_horizon(0).has_value());
+  db.set_shard_read_horizon(0, at(100));
+  ASSERT_TRUE(db.effective_read_horizon(0).has_value());
+  EXPECT_EQ(*db.effective_read_horizon(0), at(100));
+  EXPECT_FALSE(db.effective_read_horizon(1).has_value());
+  db.set_read_horizon(at(50));
+  EXPECT_EQ(*db.effective_read_horizon(0), at(50));
+  EXPECT_EQ(*db.effective_read_horizon(1), at(50));
+  db.set_read_horizon(at(200));
+  EXPECT_EQ(*db.effective_read_horizon(0), at(100));
+  db.set_shard_read_horizon(0, std::nullopt);
+  EXPECT_EQ(*db.effective_read_horizon(0), at(200));
+}
+
+TEST(Database, ShardedRetentionMatchesFlat) {
+  Database sharded{4};
+  Database flat{1};
+  for (int i = 0; i < 100; ++i) {
+    const Tags tags{{"s", std::to_string(i % 7)}};
+    sharded.write("m", tags, at(i), static_cast<double>(i));
+    flat.write("m", tags, at(i), static_cast<double>(i));
+  }
+  const std::size_t a =
+      sharded.enforce_retention(at(100), Duration::seconds(30));
+  const std::size_t b = flat.enforce_retention(at(100), Duration::seconds(30));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(sharded.total_points(), flat.total_points());
+}
+
+TEST(Database, MaintainCompactsSealedChunks) {
+  DatabaseConfig config;
+  config.shards = 2;
+  config.chunk_width = Duration::seconds(60);
+  Database db{config};
+  for (int i = 0; i < 600; i += 5) {
+    db.write("m", {{"k", "v"}}, at(i), static_cast<double>(i));
+  }
+  const std::size_t chunks_before = db.chunk_count("m");
+  EXPECT_GT(chunks_before, 4u);
+  db.maintain(at(600), Duration::hours(1));
+  EXPECT_LT(db.chunk_count("m"), chunks_before);
+  EXPECT_GT(db.compactions(), 0u);
+  EXPECT_EQ(db.total_points(), 120u);  // retention dropped nothing
 }
 
 }  // namespace

@@ -212,5 +212,28 @@ TEST(PreparedQuery, TextIsPreservedVerbatim) {
   EXPECT_EQ(prepared.text(), text);
 }
 
+TEST_F(PreparedQueryFixture, ExecuteDoesZeroParseWork) {
+  // The whole point of prepare(): lexing, parsing, and static query
+  // analysis happen exactly once. The lexer/parser bump a global work
+  // counter; a thousand executions of a prepared statement must not move
+  // it at all.
+  const PreparedQuery prepared = PreparedQuery::prepare(
+      "SELECT SUM(epc) AS epc FROM "
+      "(SELECT MAX(value) AS epc FROM \"sgx/epc\" "
+      "WHERE value <> 0 AND time >= now() - $window "
+      "GROUP BY pod_name, nodename) GROUP BY nodename");
+  const std::uint64_t before = parse_work_count();
+  ResultSet last;
+  for (int i = 0; i < 1000; ++i) {
+    last = prepared.execute(
+        db_, at(60 + (i % 5)), {{"window", Duration::seconds(25 + (i % 3))}});
+  }
+  EXPECT_EQ(parse_work_count(), before);
+  EXPECT_FALSE(last.rows.empty());
+  // The string path, by contrast, pays the parse every time.
+  (void)query("SELECT MAX(value) FROM \"sgx/epc\"", db_, at(60));
+  EXPECT_GT(parse_work_count(), before);
+}
+
 }  // namespace
 }  // namespace sgxo::tsdb::ql
