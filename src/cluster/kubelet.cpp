@@ -1,8 +1,10 @@
 #include "cluster/kubelet.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "common/log.hpp"
 
 namespace sgxo::cluster {
@@ -54,24 +56,125 @@ void Kubelet::admit_pod(const PodSpec& spec) {
         effective_epc_limit(spec));
   }
 
-  active_.emplace(spec.name, ActivePod{spec, {}, std::nullopt, true});
+  const auto emplaced = active_.emplace(
+      spec.name, ActivePod{spec, {}, std::nullopt, true, std::nullopt});
+  const std::uint64_t incarnation = ++next_incarnation_;
+  emplaced.first->second.incarnation = incarnation;
 
-  // Image pull (cached after the first pull on this node).
-  Duration pull{};
-  const std::string& image = spec.containers.front().image;
-  if (!node_->image_cache().cached(image) && registry_->has(image)) {
-    pull = registry_->pull_latency(image);
+  if (attestation_enabled()) {
+    gate_admission(spec.name, incarnation, 0);
+  } else {
+    begin_image_pull(spec.name, incarnation);
   }
-  const PodName name = spec.name;
-  sim_->schedule_after(pull, [this, name, image] {
-    node_->image_cache().store(image);
-    start_containers(name);
+}
+
+void Kubelet::enable_attestation(sgx::QuoteTransport& transport,
+                                 std::function<sgx::Quote()> quote_source,
+                                 AttestationPolicy policy) {
+  SGXO_CHECK_MSG(static_cast<bool>(quote_source), "null quote source");
+  attestation_transport_ = &transport;
+  quote_source_ = std::move(quote_source);
+  attestation_policy_ = policy;
+}
+
+void Kubelet::enable_attestation(sgx::QuoteTransport& transport,
+                                 std::function<sgx::Quote()> quote_source) {
+  enable_attestation(transport, std::move(quote_source), AttestationPolicy{});
+}
+
+void Kubelet::gate_admission(const PodName& name, std::uint64_t incarnation,
+                             int attempt) {
+  const auto it = active_.find(name);
+  if (it == active_.end() || it->second.incarnation != incarnation) {
+    return;  // torn down (or superseded) while gated
+  }
+
+  // A fresh local verdict covers the whole node: only the first admission
+  // per revalidate_ttl pays a verification round-trip.
+  if (has_local_verdict_ && sim_->now() < local_verdict_expires_) {
+    begin_image_pull(name, incarnation);
+    return;
+  }
+
+  ++attestation_verifications_;
+  const sgx::QuoteVerdict verdict =
+      attestation_transport_->verify(quote_source_());
+  sim_->schedule_after(verdict.latency, [this, name, incarnation, attempt,
+                                         verdict] {
+    const auto pod_it = active_.find(name);
+    if (pod_it == active_.end() ||
+        pod_it->second.incarnation != incarnation) {
+      return;  // torn down mid-verification
+    }
+    const PodSpec& pod_spec = pod_it->second.spec;
+
+    if (verdict.accepted()) {
+      has_local_verdict_ = true;
+      local_verdict_expires_ =
+          sim_->now() + attestation_policy_.revalidate_ttl;
+      begin_image_pull(name, incarnation);
+      return;
+    }
+    if (!verdict.transient()) {
+      // Definitive rejection: this node must not run the pod.
+      ++attestation_rejected_pods_;
+      teardown(pod_it->second);
+      active_.erase(pod_it);
+      listener_->on_pod_failed(name, "AttestationRejected");
+      return;
+    }
+    // Transient verifier failure. Non-SGX pods may fail open; SGX pods
+    // fail closed and retry with capped exponential backoff + jitter.
+    if (!pod_spec.wants_sgx() && attestation_policy_.fail_open_non_sgx) {
+      ++degraded_admissions_;
+      begin_image_pull(name, incarnation);
+      return;
+    }
+    ++attestation_retries_;
+    Duration backoff = attestation_policy_.backoff_base;
+    for (int i = 0; i < attempt && backoff < attestation_policy_.backoff_cap;
+         ++i) {
+      backoff = backoff * 2;
+    }
+    if (backoff > attestation_policy_.backoff_cap) {
+      backoff = attestation_policy_.backoff_cap;
+    }
+    // Deterministic jitter (the kubelet owns no seeded Rng): hash of
+    // (node, pod, attempt) decorrelates retry herds across nodes while
+    // keeping same-seed replays bit-identical.
+    const Duration jitter = Duration::millis(static_cast<std::int64_t>(
+        fnv1a(node_->name() + "|" + name + "|" + std::to_string(attempt)) %
+        250));
+    sim_->schedule_after(backoff + jitter, [this, name, incarnation, attempt] {
+      gate_admission(name, incarnation, attempt + 1);
+    });
   });
 }
 
-void Kubelet::start_containers(const PodName& name) {
+void Kubelet::begin_image_pull(const PodName& name,
+                               std::uint64_t incarnation) {
   const auto it = active_.find(name);
-  if (it == active_.end()) return;  // torn down while pulling
+  if (it == active_.end() || it->second.incarnation != incarnation) {
+    return;  // torn down while gated
+  }
+  // Image pull (cached after the first pull on this node).
+  Duration pull{};
+  const std::string image = it->second.spec.containers.front().image;
+  if (!node_->image_cache().cached(image) && registry_->has(image)) {
+    pull = registry_->pull_latency(image);
+  }
+  sim_->schedule_after(pull, [this, name, incarnation, image] {
+    node_->image_cache().store(image);
+    start_containers(name, incarnation);
+  });
+}
+
+void Kubelet::start_containers(const PodName& name,
+                               std::uint64_t incarnation) {
+  const auto it = active_.find(name);
+  if (it == active_.end() || it->second.incarnation != incarnation) {
+    return;  // torn down while pulling
+  }
   ActivePod& pod = it->second;
 
   std::vector<std::string> mounts;
@@ -93,12 +196,13 @@ void Kubelet::start_containers(const PodName& name) {
     startup = perf_->sgx_startup(build_size,
                                  node_->driver()->epc().config().usable);
   }
-  sim_->schedule_after(startup, [this, name] { launch_workload(name); });
+  sim_->schedule_after(
+      startup, [this, name, incarnation] { launch_workload(name, incarnation); });
 }
 
-void Kubelet::launch_workload(const PodName& name) {
+void Kubelet::launch_workload(const PodName& name, std::uint64_t incarnation) {
   const auto it = active_.find(name);
-  if (it == active_.end()) return;
+  if (it == active_.end() || it->second.incarnation != incarnation) return;
   ActivePod& pod = it->second;
   const PodBehavior& behavior = pod.spec.behavior;
 
@@ -125,7 +229,7 @@ void Kubelet::launch_workload(const PodName& name) {
       return;
     }
     if (dynamic) {
-      schedule_dynamic_profile(name);
+      schedule_dynamic_profile(name, incarnation);
     }
   } else {
     // The virtual-memory stressor allocates its trace-reported maximum.
@@ -136,7 +240,8 @@ void Kubelet::launch_workload(const PodName& name) {
   listener_->on_pod_running(name);
   const Duration duration = behavior.duration;
   pod.completion_due = sim_->now() + duration;
-  sim_->schedule_after(duration, [this, name] { complete_pod(name); });
+  sim_->schedule_after(
+      duration, [this, name, incarnation] { complete_pod(name, incarnation); });
 }
 
 bool Kubelet::use_dynamic_memory(const PodSpec& spec) const {
@@ -145,7 +250,8 @@ bool Kubelet::use_dynamic_memory(const PodSpec& spec) const {
          node_->driver()->version() == sgx::SgxVersion::kSgx2;
 }
 
-void Kubelet::schedule_dynamic_profile(const PodName& name) {
+void Kubelet::schedule_dynamic_profile(const PodName& name,
+                                       std::uint64_t incarnation) {
   const auto it = active_.find(name);
   SGXO_CHECK(it != active_.end());
   const PodBehavior& behavior = it->second.spec.behavior;
@@ -154,9 +260,11 @@ void Kubelet::schedule_dynamic_profile(const PodName& name) {
   const Duration third =
       Duration::micros(behavior.duration.micros_count() / 3);
 
-  sim_->schedule_after(third, [this, name, delta] {
+  sim_->schedule_after(third, [this, name, incarnation, delta] {
     const auto pod_it = active_.find(name);
-    if (pod_it == active_.end() || !pod_it->second.enclave.has_value()) {
+    if (pod_it == active_.end() ||
+        pod_it->second.incarnation != incarnation ||
+        !pod_it->second.enclave.has_value()) {
       return;  // pod already gone
     }
     try {
@@ -170,9 +278,11 @@ void Kubelet::schedule_dynamic_profile(const PodName& name) {
       listener_->on_pod_failed(name, "EpcLimitExceeded");
     }
   });
-  sim_->schedule_after(third * 2, [this, name, delta] {
+  sim_->schedule_after(third * 2, [this, name, incarnation, delta] {
     const auto pod_it = active_.find(name);
-    if (pod_it == active_.end() || !pod_it->second.enclave.has_value()) {
+    if (pod_it == active_.end() ||
+        pod_it->second.incarnation != incarnation ||
+        !pod_it->second.enclave.has_value()) {
       return;
     }
     // Only shrink what was actually grown.
@@ -182,9 +292,11 @@ void Kubelet::schedule_dynamic_profile(const PodName& name) {
   });
 }
 
-void Kubelet::complete_pod(const PodName& name) {
+void Kubelet::complete_pod(const PodName& name, std::uint64_t incarnation) {
   const auto it = active_.find(name);
-  if (it == active_.end()) return;
+  if (it == active_.end() || it->second.incarnation != incarnation) {
+    return;  // evicted (and possibly re-admitted) since this event was armed
+  }
   teardown(it->second);
   active_.erase(it);
   listener_->on_pod_succeeded(name);
@@ -260,16 +372,19 @@ void Kubelet::admit_migrated(MigrationBundle bundle,
   }
   node_->driver()->set_pod_limit(ContainerRuntime::cgroup_path_for(name),
                                  effective_epc_limit(bundle.spec));
-  active_.emplace(name,
-                  ActivePod{bundle.spec, {}, std::nullopt, true, std::nullopt});
+  const auto emplaced = active_.emplace(
+      name, ActivePod{bundle.spec, {}, std::nullopt, true, std::nullopt});
+  const std::uint64_t incarnation = ++next_incarnation_;
+  emplaced.first->second.incarnation = incarnation;
 
   // Wire transfer, then container restart (PSW again — one instance per
   // container) and enclave restore.
   const Duration psw = perf_->config().psw_startup;
   auto shared = std::make_shared<MigrationBundle>(std::move(bundle));
-  sim_->schedule_after(inbound_delay + psw, [this, name, shared, &service] {
+  sim_->schedule_after(inbound_delay + psw, [this, name, incarnation, shared,
+                                             &service] {
     const auto it = active_.find(name);
-    if (it == active_.end()) return;
+    if (it == active_.end() || it->second.incarnation != incarnation) return;
     ActivePod& pod = it->second;
 
     std::vector<std::string> mounts{DevicePlugin::kDevicePath};
@@ -297,7 +412,9 @@ void Kubelet::admit_migrated(MigrationBundle bundle,
     // latency has elapsed.
     const Duration resume_in = restored.latency + shared->remaining;
     pod.completion_due = sim_->now() + resume_in;
-    sim_->schedule_after(resume_in, [this, name] { complete_pod(name); });
+    sim_->schedule_after(resume_in, [this, name, incarnation] {
+      complete_pod(name, incarnation);
+    });
   });
 }
 

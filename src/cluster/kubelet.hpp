@@ -14,6 +14,8 @@
 // pods.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -21,6 +23,7 @@
 
 #include "cluster/node.hpp"
 #include "cluster/pod.hpp"
+#include "sgx/attestation_verifier.hpp"
 #include "sgx/migration.hpp"
 #include "sgx/perf_model.hpp"
 #include "sgx/sdk.hpp"
@@ -67,6 +70,54 @@ class Kubelet {
   /// pods into the same last pages.
   [[nodiscard]] bool can_admit(const PodSpec& spec,
                                Pages staged_epc = Pages{0}) const;
+
+  // ---- attestation at bind delivery ----------------------------------------
+  /// Node-local re-verification policy, mirroring the EPC admission guard:
+  /// even if the control plane's cached verdict said yes, the kubelet
+  /// re-attests before containers start (defence against a stale or
+  /// split-brain control-plane cache).
+  struct AttestationPolicy {
+    /// A local verdict this fresh is trusted without a new round-trip, so
+    /// only the first admission per TTL pays verification latency.
+    Duration revalidate_ttl = Duration::minutes(5);
+    /// Capped exponential backoff for transient verifier failures
+    /// (unavailable / timed out), plus deterministic per-attempt jitter.
+    Duration backoff_base = Duration::millis(500);
+    Duration backoff_cap = Duration::seconds(30);
+    /// Degradation: non-SGX pods start anyway while the verifier is
+    /// unreachable (counted in degraded_admissions); SGX pods always fail
+    /// closed and keep retrying.
+    bool fail_open_non_sgx = true;
+  };
+
+  /// Enables quote re-verification at bind delivery. `quote_source`
+  /// produces this node's current quote on demand. (Two overloads instead
+  /// of a defaulted policy: GCC rejects a nested class's member
+  /// initializers in the enclosing class's default arguments.)
+  void enable_attestation(sgx::QuoteTransport& transport,
+                          std::function<sgx::Quote()> quote_source,
+                          AttestationPolicy policy);
+  void enable_attestation(sgx::QuoteTransport& transport,
+                          std::function<sgx::Quote()> quote_source);
+  [[nodiscard]] bool attestation_enabled() const {
+    return attestation_transport_ != nullptr;
+  }
+  /// Verification round-trips issued by this kubelet.
+  [[nodiscard]] std::uint64_t attestation_verifications() const {
+    return attestation_verifications_;
+  }
+  /// Admissions re-scheduled after a transient verifier failure.
+  [[nodiscard]] std::uint64_t attestation_retries() const {
+    return attestation_retries_;
+  }
+  /// Non-SGX pods started without a verdict (fail-open policy).
+  [[nodiscard]] std::uint64_t degraded_admissions() const {
+    return degraded_admissions_;
+  }
+  /// Pods failed with "AttestationRejected" (definitive negative verdict).
+  [[nodiscard]] std::uint64_t attestation_rejected_pods() const {
+    return attestation_rejected_pods_;
+  }
 
   /// Per-pod standard memory usage, the stats Heapster scrapes.
   struct PodStats {
@@ -125,17 +176,31 @@ class Kubelet {
     bool limits_installed = false;
     /// When the stressor's runtime elapses (set once running).
     std::optional<TimePoint> completion_due;
+    /// Per-admission stamp. An eviction requeues the pod under the *same*
+    /// name, so scheduled lifecycle events (verdict arrival, pull done,
+    /// startup done, completion, grow/trim) must not act on a later
+    /// re-admission of that name: each event captures the incarnation it
+    /// was armed for and fizzles on mismatch.
+    std::uint64_t incarnation = 0;
   };
 
-  void start_containers(const PodName& name);
-  void launch_workload(const PodName& name);
+  /// Attestation stage of admission: consults the local verdict, verifies
+  /// through the transport when stale, and retries transient failures with
+  /// capped exponential backoff + jitter. Chains into begin_image_pull.
+  void gate_admission(const PodName& name, std::uint64_t incarnation,
+                      int attempt);
+  /// Image-pull stage (the admission path after any attestation gate).
+  void begin_image_pull(const PodName& name, std::uint64_t incarnation);
+  void start_containers(const PodName& name, std::uint64_t incarnation);
+  void launch_workload(const PodName& name, std::uint64_t incarnation);
   /// True when this pod should use SGX 2 dynamic enclave memory: it has a
   /// dynamic profile *and* this node's driver is SGX 2 (§VI-G). SGX 1
   /// nodes fall back to committing the peak at build time.
   [[nodiscard]] bool use_dynamic_memory(const PodSpec& spec) const;
   /// Arms the grow (duration/3) and trim (2·duration/3) events.
-  void schedule_dynamic_profile(const PodName& name);
-  void complete_pod(const PodName& name);
+  void schedule_dynamic_profile(const PodName& name,
+                                std::uint64_t incarnation);
+  void complete_pod(const PodName& name, std::uint64_t incarnation);
   void teardown(ActivePod& pod);
   /// The pod's EPC limit as installed in the driver: the declared limit,
   /// falling back to the request when no explicit limit was given.
@@ -147,6 +212,21 @@ class Kubelet {
   const ImageRegistry* registry_;
   PodLifecycleListener* listener_;
   std::map<PodName, ActivePod> active_;
+  /// Monotonic admission counter feeding ActivePod::incarnation.
+  std::uint64_t next_incarnation_ = 0;
+
+  // Attestation at bind delivery (disabled until enable_attestation).
+  sgx::QuoteTransport* attestation_transport_ = nullptr;
+  std::function<sgx::Quote()> quote_source_;
+  AttestationPolicy attestation_policy_;
+  /// Local node verdict: fresh admissions skip the round-trip until it
+  /// expires.
+  bool has_local_verdict_ = false;
+  TimePoint local_verdict_expires_;
+  std::uint64_t attestation_verifications_ = 0;
+  std::uint64_t attestation_retries_ = 0;
+  std::uint64_t degraded_admissions_ = 0;
+  std::uint64_t attestation_rejected_pods_ = 0;
 };
 
 }  // namespace sgxo::cluster

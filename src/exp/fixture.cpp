@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace sgxo::exp {
 
@@ -37,6 +38,43 @@ SimulatedCluster::SimulatedCluster(ClusterConfig config)
                                                config_.heapster_period);
   daemonset_ = std::make_unique<orch::ProbeDaemonSet>(
       sim_, *api_, db_, config_.probe_period);
+
+  if (config_.attestation) {
+    // One expected measurement — the evaluation image everyone runs — and
+    // one provisioned platform per SGX node. The verifier backs both the
+    // API server's verdict cache and the kubelet-side re-check.
+    attestation_measurement_ =
+        sgx::measure_enclave("sebvaucher/sgx-base:stress-sgx");
+    sgx::AttestationVerifier::Config verifier_config;
+    verifier_config.expected = attestation_measurement_;
+    verifier_ = std::make_unique<sgx::AttestationVerifier>(verifier_config);
+    for (const auto& node : nodes_) {
+      if (!node->has_sgx()) continue;
+      const auto [it, inserted] = platforms_.emplace(
+          node->name(), sgx::Platform::for_node(node->name()));
+      SGXO_CHECK(inserted);
+      verifier_->provision(it->second);
+    }
+    api_->enable_attestation(
+        *verifier_,
+        [this](const cluster::NodeName& name) { return node_quote(name); },
+        config_.attestation_config);
+    for (const auto& kubelet : kubelets_) {
+      if (!kubelet->node().has_sgx()) continue;
+      kubelet->enable_attestation(
+          *verifier_,
+          [this, name = kubelet->node_name()] { return node_quote(name); },
+          config_.attestation_policy);
+    }
+  }
+}
+
+sgx::Quote SimulatedCluster::node_quote(const cluster::NodeName& name) const {
+  const auto it = platforms_.find(name);
+  SGXO_CHECK_MSG(it != platforms_.end(),
+                 "no provisioned platform for node " + name);
+  return sgx::QuotingEnclave{it->second}.quote(attestation_measurement_,
+                                               fnv1a(name));
 }
 
 std::vector<cluster::Node*> SimulatedCluster::nodes() {
@@ -268,6 +306,39 @@ void SimulatedCluster::install_fault_handlers(sim::FaultInjector& injector,
   injector.on_heal(FaultKind::kSplitBrainWindow, [this](const FaultSpec&) {
     api_->leases().set_split_brain(false);
   });
+
+  // Attestation faults (only meaningful with an attesting cluster; the
+  // plan generator downgrades these kinds for configs without one, but a
+  // hand-written plan against a non-attesting fixture is simply inert).
+  if (verifier_ != nullptr) {
+    injector.on_inject(FaultKind::kAttestationVerifierOutage,
+                       [this](const FaultSpec&) {
+                         verifier_->set_outage(true);
+                       });
+    injector.on_heal(FaultKind::kAttestationVerifierOutage,
+                     [this](const FaultSpec&) {
+                       verifier_->set_outage(false);
+                     });
+    injector.on_inject(FaultKind::kAttestationSlowVerify,
+                       [this](const FaultSpec& spec) {
+                         verifier_->set_extra_latency(spec.delay);
+                       });
+    injector.on_heal(FaultKind::kAttestationSlowVerify,
+                     [this](const FaultSpec&) {
+                       verifier_->set_extra_latency(Duration{});
+                     });
+    // A storm is instantaneous, like kLeaseExpiry: the mass expiry fires
+    // at activation and the renewal race plays out on its own — there is
+    // nothing to heal (the plan's heal event still balances the
+    // injected/healed counters without a handler).
+    injector.on_inject(FaultKind::kReattestationStorm,
+                       [this](const FaultSpec&) {
+                         if (orch::AttestationGate* gate = api_->attestation();
+                             gate != nullptr) {
+                           gate->force_expire_all();
+                         }
+                       });
+  }
 }
 
 void SimulatedCluster::start_monitoring() {

@@ -4,6 +4,7 @@
 // and owns every component's lifetime.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -18,6 +19,7 @@
 #include "orch/default_scheduler.hpp"
 #include "orch/heapster.hpp"
 #include "orch/pod_restarter.hpp"
+#include "sgx/attestation_verifier.hpp"
 #include "sgx/perf_model.hpp"
 #include "sim/fault.hpp"
 #include "sim/simulation.hpp"
@@ -42,6 +44,15 @@ struct ClusterConfig {
   Duration metrics_window = Duration::seconds(25);
   /// TSDB shard count (independent lock domains; see tsdb::DatabaseConfig).
   std::size_t tsdb_shards = 1;
+  /// Attestation-gated admission: provisions every SGX node's platform
+  /// with an AttestationVerifier, enables the API server's verdict cache
+  /// and the kubelet-side re-verification at bind delivery.
+  bool attestation = false;
+  /// Gate tuning (TTLs, grace, degradation policy); used when
+  /// `attestation` is true.
+  orch::AttestationGate::Config attestation_config{};
+  /// Kubelet-side re-verification policy; used when `attestation` is true.
+  cluster::Kubelet::AttestationPolicy attestation_policy{};
 };
 
 class SimulatedCluster {
@@ -63,6 +74,17 @@ class SimulatedCluster {
   [[nodiscard]] std::vector<cluster::Kubelet*> kubelets();
   [[nodiscard]] orch::Heapster& heapster() { return *heapster_; }
   [[nodiscard]] orch::ProbeDaemonSet& daemonset() { return *daemonset_; }
+  /// The verifier, or nullptr when attestation is off.
+  [[nodiscard]] sgx::AttestationVerifier* attestation_verifier() {
+    return verifier_.get();
+  }
+  /// The API server's verdict cache, or nullptr when attestation is off.
+  [[nodiscard]] orch::AttestationGate* attestation_gate() {
+    return api_->attestation();
+  }
+  /// This node's current quote (the quoting-enclave round); CHECKs that
+  /// the node has a provisioned platform.
+  [[nodiscard]] sgx::Quote node_quote(const cluster::NodeName& name) const;
 
   /// Registers the standard effect handlers for every FaultKind on the
   /// injector: node crash/reboot through the API server, probe/Heapster
@@ -116,6 +138,11 @@ class SimulatedCluster {
   cluster::ImageRegistry registry_;
   sgx::PerfModel perf_;
   std::unique_ptr<orch::ApiServer> api_;
+  /// Attestation (only when config_.attestation): the verifier every layer
+  /// shares, per-SGX-node platforms, and the one expected measurement.
+  std::unique_ptr<sgx::AttestationVerifier> verifier_;
+  std::map<cluster::NodeName, sgx::Platform> platforms_;
+  sgx::Measurement attestation_measurement_{};
   std::vector<std::unique_ptr<cluster::Node>> nodes_;
   std::vector<std::unique_ptr<cluster::Kubelet>> kubelets_;
   std::unique_ptr<orch::Heapster> heapster_;

@@ -51,6 +51,10 @@ const char* to_string(ApiServer::BindStatus status) {
       return "NodeUnavailable";
     case ApiServer::BindStatus::kAdmissionRejected:
       return "AdmissionRejected";
+    case ApiServer::BindStatus::kAttestationPending:
+      return "AttestationPending";
+    case ApiServer::BindStatus::kAttestationRejected:
+      return "AttestationRejected";
     case ApiServer::BindStatus::kBatchAborted:
       return "BatchAborted";
   }
@@ -67,6 +71,14 @@ std::ostream& operator<<(std::ostream& os,
 }
 
 ApiServer::ApiServer(sim::Simulation& sim) : sim_(&sim), leases_(sim) {}
+
+void ApiServer::enable_attestation(sgx::QuoteTransport& transport,
+                                   AttestationGate::QuoteSource quotes,
+                                   AttestationGate::Config config) {
+  SGXO_CHECK_MSG(attestation_ == nullptr, "attestation already enabled");
+  attestation_ = std::make_unique<AttestationGate>(
+      *sim_, *this, transport, std::move(quotes), config);
+}
 
 void ApiServer::register_node(cluster::Node& node, cluster::Kubelet& kubelet) {
   SGXO_CHECK_MSG(find_node(node.name()) == nullptr,
@@ -398,6 +410,30 @@ ApiServer::BatchBindResult ApiServer::try_bind_batch(
       all_valid = false;
       continue;
     }
+    // Attestation gate (when enabled): binds to SGX nodes need a fresh
+    // accepted quote verdict. A miss kicks off one (coalesced)
+    // verification and parks the entry kAttestationPending; a cached
+    // definitive rejection refuses it. Neither counts as contention.
+    if (attestation_ != nullptr && entry->node->has_sgx()) {
+      const AttestationGate::Check check =
+          attestation_->check_bind(request.node, record.spec.wants_sgx());
+      if (check == AttestationGate::Check::kPending) {
+        outcome.status = BindStatus::kAttestationPending;
+        ++attestation_pending_;
+        ++result.attestation_pending;
+        all_valid = false;
+        continue;
+      }
+      if (check == AttestationGate::Check::kRejected) {
+        outcome.status = BindStatus::kAttestationRejected;
+        ++attestation_rejections_;
+        ++result.attestation_rejections;
+        record_event(request.pod,
+                     "BindRejected: attestation verdict on " + request.node);
+        all_valid = false;
+        continue;
+      }
+    }
     // Kubelet admission guard: re-check the declared EPC against the
     // node's *live* device commitments plus this batch's staged pages. A
     // scheduler whose view of the node predates another scheduler's binds
@@ -456,6 +492,25 @@ ApiServer::BatchBindResult ApiServer::try_bind_batch(
       outcome.status = BindStatus::kNodeUnavailable;
       ++result.unavailable;
       continue;
+    }
+    // Attestation re-check (pure peek — no counters, no new requests): a
+    // verdict can lapse between validation and apply when a watch
+    // callback advanced virtual state mid-batch.
+    if (attestation_ != nullptr && entry->node->has_sgx()) {
+      const AttestationGate::Check check =
+          attestation_->peek(request.node, record.spec.wants_sgx());
+      if (check == AttestationGate::Check::kPending) {
+        outcome.status = BindStatus::kAttestationPending;
+        ++attestation_pending_;
+        ++result.attestation_pending;
+        continue;
+      }
+      if (check == AttestationGate::Check::kRejected) {
+        outcome.status = BindStatus::kAttestationRejected;
+        ++attestation_rejections_;
+        ++result.attestation_rejections;
+        continue;
+      }
     }
     apply_bind(record, *entry);
     outcome.resource_version = record.resource_version;

@@ -25,6 +25,7 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -34,6 +35,7 @@
 #include "cluster/node.hpp"
 #include "cluster/pod.hpp"
 #include "common/time.hpp"
+#include "orch/attestation_gate.hpp"
 #include "orch/lease.hpp"
 #include "sim/simulation.hpp"
 
@@ -202,6 +204,14 @@ class ApiServer final : public cluster::PodLifecycleListener {
     /// pages staged by earlier entries of the same batch). The last line
     /// of defence against split-brain over-commitment.
     kAdmissionRejected,
+    /// Attestation gate enabled and the target node has no fresh accepted
+    /// verdict: a verification round-trip is in flight (or just
+    /// requested). The pod stays pending; retry a later cycle.
+    kAttestationPending,
+    /// Attestation gate enabled and the target node's cached verdict is a
+    /// definitive rejection (forged quote, revoked or unexpected
+    /// measurement): the bind is refused until the verdict changes.
+    kAttestationRejected,
     /// kAtomic batch only: this entry validated cleanly but another entry
     /// did not, so the whole transaction was rolled forward to nothing.
     kBatchAborted,
@@ -253,6 +263,10 @@ class ApiServer final : public cluster::PodLifecycleListener {
     std::size_t admission_rejections = 0;
     /// kNodeUnavailable entries.
     std::size_t unavailable = 0;
+    /// kAttestationPending entries (verification in flight for the node).
+    std::size_t attestation_pending = 0;
+    /// kAttestationRejected entries (cached definitive rejection).
+    std::size_t attestation_rejections = 0;
     /// kAtomic only: the batch validated dirty and nothing was applied.
     bool aborted = false;
 
@@ -307,6 +321,28 @@ class ApiServer final : public cluster::PodLifecycleListener {
   /// stopped at delivery).
   [[nodiscard]] std::uint64_t guard_rejections() const {
     return guard_rejections_;
+  }
+
+  // ---- attestation gate ----------------------------------------------------
+  /// Enables attestation-gated admission: binds to SGX nodes require a
+  /// fresh accepted quote verdict from the gate's cache (misses go
+  /// kAttestationPending while a verification round-trips). Off by
+  /// default — clusters without attestation behave exactly as before.
+  void enable_attestation(sgx::QuoteTransport& transport,
+                          AttestationGate::QuoteSource quotes,
+                          AttestationGate::Config config = {});
+  /// The gate, or nullptr when attestation is not enabled.
+  [[nodiscard]] AttestationGate* attestation() { return attestation_.get(); }
+  [[nodiscard]] const AttestationGate* attestation() const {
+    return attestation_.get();
+  }
+  /// try_bind outcomes deferred while a node verification was in flight.
+  [[nodiscard]] std::uint64_t attestation_pending() const {
+    return attestation_pending_;
+  }
+  /// try_bind outcomes refused on a cached definitive rejection.
+  [[nodiscard]] std::uint64_t attestation_rejections() const {
+    return attestation_rejections_;
   }
 
   // ---- leader-election leases ----------------------------------------------
@@ -416,8 +452,11 @@ class ApiServer final : public cluster::PodLifecycleListener {
 
   sim::Simulation* sim_;
   LeaseManager leases_;
+  std::unique_ptr<AttestationGate> attestation_;
   std::uint64_t bind_conflicts_ = 0;
   std::uint64_t guard_rejections_ = 0;
+  std::uint64_t attestation_pending_ = 0;
+  std::uint64_t attestation_rejections_ = 0;
   std::string default_scheduler_ = "default-scheduler";
   std::map<std::string, ResourceQuota> quotas_;
   std::vector<NodeEntry> nodes_;

@@ -183,6 +183,45 @@ std::string describe_control_plane(
     os << "  Split-brain grants: " << api.leases().split_grants() << '\n';
   }
 
+  if (const AttestationGate* gate = api.attestation(); gate != nullptr) {
+    const auto verdicts = gate->verdicts();
+    os << "Attestation cache:\n"
+       << "  Entries:  " << gate->entries() << " cached, " << gate->in_flight()
+       << " in flight\n"
+       << "  Traffic:  hits=" << gate->hits() << " misses=" << gate->misses()
+       << " expired=" << gate->expired()
+       << " negative_hits=" << gate->negative_hits()
+       << " coalesced=" << gate->coalesced() << '\n'
+       << "  Actions:  verifications=" << gate->verifications()
+       << " evictions=" << gate->evictions()
+       << " degraded_admissions=" << gate->degraded_admissions()
+       << " storms=" << gate->storms() << '\n';
+    // Storm banner: more than a quarter of the attested nodes are mid
+    // re-verification at once — mass TTL lapse or a forced storm.
+    if (!verdicts.empty() && gate->in_flight() * 4 > verdicts.size()) {
+      os << "  RE-ATTESTATION STORM: " << gate->in_flight() << "/"
+         << verdicts.size() << " nodes re-verifying\n";
+    }
+    for (const AttestationGate::VerdictView& view : verdicts) {
+      os << "  " << view.node << ": ";
+      if (view.expires == TimePoint::epoch()) {
+        // Never decided — the first verification is still in flight.
+        os << "verification in flight";
+      } else {
+        os << (view.accepted ? "accepted" : "rejected")
+           << " age=" << to_string(now - view.decided);
+        if (view.expires > now) {
+          os << " expires-in=" << to_string(view.expires - now);
+        } else {
+          os << " EXPIRED";
+        }
+        if (view.in_flight) os << " (re-verifying)";
+        if (!view.accepted) os << " reason=" << view.reason;
+      }
+      os << '\n';
+    }
+  }
+
   os << "Leases:\n";
   if (api.leases().lease_names().empty()) {
     os << "  (none)\n";
@@ -217,7 +256,8 @@ std::string describe_control_plane(
        << " bind_conflicts=" << health.bind_conflicts
        << " guard_rejections=" << health.guard_rejections
        << " backoff_skips=" << health.backoff_skips
-       << " degraded_cycles=" << health.degraded_cycles;
+       << " degraded_cycles=" << health.degraded_cycles
+       << " attestation_waits=" << health.attestation_waits;
     if (health.shared_state) {
       os << " batch=" << health.batch_capacity
          << " batches=" << health.batches

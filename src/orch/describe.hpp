@@ -40,10 +40,13 @@ namespace sgxo::orch {
 [[nodiscard]] Table get_leases(const ApiServer& api, TimePoint now);
 
 /// Control-plane health report: ApiServer-wide conditional-bind conflict /
-/// admission-guard counters, the lease table with its transition history,
-/// and one line per scheduler replica (identity, leader/standby/crashed
-/// state, cycles, elections, binds, conflicts, backoff skips, degraded
-/// cycles).
+/// admission-guard counters, the attestation verdict cache (entries,
+/// hit/miss/expired traffic, per-node verdict + age, and a storm banner
+/// when more than a quarter of the attested nodes are mid
+/// re-verification), the lease table with its transition history, and one
+/// line per scheduler replica (identity, leader/standby/crashed state,
+/// cycles, elections, binds, conflicts, backoff skips, degraded cycles,
+/// attestation waits).
 [[nodiscard]] std::string describe_control_plane(
     const ApiServer& api, const std::vector<const Scheduler*>& schedulers,
     TimePoint now);

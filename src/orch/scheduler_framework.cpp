@@ -125,6 +125,7 @@ Scheduler::Health Scheduler::health() const {
   health.bound = bound_;
   health.bind_conflicts = bind_conflicts_;
   health.guard_rejections = guard_rejections_;
+  health.attestation_waits = attestation_waits_;
   health.backoff_skips = backoff_skips_;
   health.degraded_cycles = degraded_cycles();
   health.shared_state = shared_state_enabled();
@@ -279,6 +280,16 @@ std::size_t Scheduler::run_once() {
       if (strict_fcfs_) break;
       continue;
     }
+    if (outcome == ApiServer::BindStatus::kAttestationPending ||
+        outcome == ApiServer::BindStatus::kAttestationRejected) {
+      // The attestation gate parked the bind (verification in flight) or
+      // refused the node. Back off and retry; a pending verdict usually
+      // resolves within one round-trip.
+      ++attestation_waits_;
+      note_bind_failure(pod_name);
+      if (strict_fcfs_) break;
+      continue;
+    }
     backoffs_.erase(pod_name);
     ++bound_this_cycle;
 
@@ -416,6 +427,13 @@ std::size_t Scheduler::run_shared_cycle() {
           note_bind_failure(pod_name);
           break;
         case ApiServer::BindStatus::kNodeUnavailable:
+          note_bind_failure(pod_name);
+          break;
+        case ApiServer::BindStatus::kAttestationPending:
+        case ApiServer::BindStatus::kAttestationRejected:
+          // Parked behind the attestation gate; excluded from the
+          // conflict rate (not contention), retried after backoff.
+          ++attestation_waits_;
           note_bind_failure(pod_name);
           break;
         case ApiServer::BindStatus::kBatchAborted:

@@ -224,6 +224,11 @@ class Scheduler {
   [[nodiscard]] std::uint64_t guard_rejections() const {
     return guard_rejections_;
   }
+  /// Bind attempts parked behind the attestation gate (verification in
+  /// flight or a cached rejection) — the pod backs off and retries.
+  [[nodiscard]] std::uint64_t attestation_waits() const {
+    return attestation_waits_;
+  }
   /// Cycles that fell back from measured usage to declared requests;
   /// meaningful for metrics-driven schedulers (base schedulers never
   /// degrade).
@@ -243,6 +248,7 @@ class Scheduler {
     std::uint64_t bound = 0;
     std::uint64_t bind_conflicts = 0;
     std::uint64_t guard_rejections = 0;
+    std::uint64_t attestation_waits = 0;
     std::uint64_t backoff_skips = 0;
     std::uint64_t degraded_cycles = 0;
     // Shared-state mode (zeros when disabled).
@@ -322,6 +328,7 @@ class Scheduler {
   std::uint64_t standby_cycles_ = 0;
   std::uint64_t bind_conflicts_ = 0;
   std::uint64_t guard_rejections_ = 0;
+  std::uint64_t attestation_waits_ = 0;
   // Shared-state mode.
   std::optional<SharedStateConfig> shared_;
   std::size_t batch_size_ = 0;       // current controller-chosen capacity

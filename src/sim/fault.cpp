@@ -32,6 +32,12 @@ const char* to_string(FaultKind kind) {
       return "tsdb-shard-write-error";
     case FaultKind::kTsdbShardStaleReads:
       return "tsdb-shard-stale-reads";
+    case FaultKind::kAttestationVerifierOutage:
+      return "attestation-verifier-outage";
+    case FaultKind::kAttestationSlowVerify:
+      return "attestation-slow-verify";
+    case FaultKind::kReattestationStorm:
+      return "reattestation-storm";
   }
   return "unknown";
 }
@@ -66,6 +72,80 @@ std::string FaultPlan::describe() const {
   return out.empty() ? "(no faults)" : out;
 }
 
+namespace {
+
+const std::string& pick(Rng& rng, const std::vector<std::string>& options) {
+  return options[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(options.size()) - 1))];
+}
+
+}  // namespace
+
+FaultKind downgrade_for_config(FaultKind kind,
+                               const RandomPlanConfig& config) {
+  /// One row per kind with prerequisites: when `available` is false under
+  /// the config, the draw falls back to `fallback` (which may itself have
+  /// a row — resolution chains, e.g. kLeaseExpiry → kSchedulerCrash →
+  /// kHeapsterDropout). Kinds without a row are always available. Keeping
+  /// this a single table means a new fault kind cannot silently skip its
+  /// downgrade: either it has a row here or it must work in every config.
+  struct DowngradeRule {
+    FaultKind kind;
+    bool (*available)(const RandomPlanConfig&);
+    FaultKind fallback;
+  };
+  static constexpr DowngradeRule kRules[] = {
+      {FaultKind::kNodeCrash,
+       [](const RandomPlanConfig& c) { return !c.crash_targets.empty(); },
+       FaultKind::kHeapsterDropout},
+      {FaultKind::kSchedulerCrash,
+       [](const RandomPlanConfig& c) { return !c.scheduler_targets.empty(); },
+       FaultKind::kHeapsterDropout},
+      // Shared-state fleets run without leases: lease faults are
+      // meaningless there, but scheduler crashes are the equivalent
+      // control-plane disruption.
+      {FaultKind::kLeaseExpiry,
+       [](const RandomPlanConfig& c) { return !c.lease_targets.empty(); },
+       FaultKind::kSchedulerCrash},
+      {FaultKind::kSplitBrainWindow,
+       [](const RandomPlanConfig& c) { return !c.lease_targets.empty(); },
+       FaultKind::kSchedulerCrash},
+      // Without shard targets (a 1-shard database) the equivalent
+      // disruption is the database-wide kind.
+      {FaultKind::kTsdbShardWriteError,
+       [](const RandomPlanConfig& c) { return !c.tsdb_shard_targets.empty(); },
+       FaultKind::kTsdbWriteError},
+      {FaultKind::kTsdbShardStaleReads,
+       [](const RandomPlanConfig& c) { return !c.tsdb_shard_targets.empty(); },
+       FaultKind::kTsdbStaleReads},
+      // Non-attesting clusters have no verifier to break and no verdict
+      // cache to storm.
+      {FaultKind::kAttestationVerifierOutage,
+       [](const RandomPlanConfig& c) { return c.attestation; },
+       FaultKind::kHeapsterDropout},
+      {FaultKind::kReattestationStorm,
+       [](const RandomPlanConfig& c) { return c.attestation; },
+       FaultKind::kHeapsterDropout},
+      {FaultKind::kAttestationSlowVerify,
+       [](const RandomPlanConfig& c) { return c.attestation; },
+       FaultKind::kSampleDelay},
+  };
+  // Chains are short (≤ kind count) and acyclic by construction; the loop
+  // terminates when the kind has no rule or its prerequisites hold.
+  for (bool resolved = false; !resolved;) {
+    resolved = true;
+    for (const DowngradeRule& rule : kRules) {
+      if (rule.kind != kind) continue;
+      if (!rule.available(config)) {
+        kind = rule.fallback;
+        resolved = false;
+      }
+      break;
+    }
+  }
+  return kind;
+}
+
 FaultPlan random_plan(Rng& rng, const RandomPlanConfig& config) {
   SGXO_CHECK_MSG(config.min_faults <= config.max_faults,
                  "min_faults must not exceed max_faults");
@@ -77,8 +157,9 @@ FaultPlan random_plan(Rng& rng, const RandomPlanConfig& config) {
       static_cast<std::int64_t>(config.max_faults)));
   for (std::size_t i = 0; i < count; ++i) {
     FaultSpec fault;
-    fault.kind = static_cast<FaultKind>(
-        rng.uniform_int(0, kFaultKindCount - 1));
+    fault.kind = downgrade_for_config(
+        static_cast<FaultKind>(rng.uniform_int(0, kFaultKindCount - 1)),
+        config);
     fault.at = Duration::micros(
         rng.uniform_int(0, std::max<std::int64_t>(
                                config.window.micros_count() - 1, 0)));
@@ -87,100 +168,39 @@ FaultPlan random_plan(Rng& rng, const RandomPlanConfig& config) {
     fault.duration = Duration::micros(
         rng.uniform_int(config.min_duration.micros_count(),
                         config.max_duration.micros_count()));
+    // Target / delay assignment for the *resolved* kind. Downgrading is
+    // done (downgrade_for_config never returns a kind whose list below is
+    // empty), so these draws cannot fail.
     switch (fault.kind) {
       case FaultKind::kNodeCrash:
-        if (config.crash_targets.empty()) {
-          fault.kind = FaultKind::kHeapsterDropout;
-          break;
-        }
-        fault.target = config.crash_targets[static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<std::int64_t>(
-                                   config.crash_targets.size()) -
-                                   1))];
+        fault.target = pick(rng, config.crash_targets);
         break;
       case FaultKind::kProbeDropout:
         // An empty target means every probe; bias towards single nodes
         // when targets are known.
         if (!config.probe_targets.empty() && rng.bernoulli(0.75)) {
-          fault.target = config.probe_targets[static_cast<std::size_t>(
-              rng.uniform_int(0, static_cast<std::int64_t>(
-                                     config.probe_targets.size()) -
-                                     1))];
+          fault.target = pick(rng, config.probe_targets);
         }
         break;
       case FaultKind::kSampleDelay:
+      case FaultKind::kAttestationSlowVerify:
         fault.delay = Duration::micros(
             rng.uniform_int(1, std::max<std::int64_t>(
                                    config.max_delay.micros_count(), 1)));
         break;
       case FaultKind::kSchedulerCrash:
-        if (config.scheduler_targets.empty()) {
-          fault.kind = FaultKind::kHeapsterDropout;
-          break;
-        }
-        fault.target = config.scheduler_targets[static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<std::int64_t>(
-                                   config.scheduler_targets.size()) -
-                                   1))];
+        fault.target = pick(rng, config.scheduler_targets);
         break;
       case FaultKind::kLeaseExpiry:
-        if (config.lease_targets.empty()) {
-          // Shared-state fleets run without leases: lease faults are
-          // meaningless there, but scheduler crashes are the equivalent
-          // control-plane disruption — downgrade to one when scheduler
-          // targets exist, else to the harmless monitoring dropout.
-          if (!config.scheduler_targets.empty()) {
-            fault.kind = FaultKind::kSchedulerCrash;
-            fault.target = config.scheduler_targets[static_cast<std::size_t>(
-                rng.uniform_int(0, static_cast<std::int64_t>(
-                                       config.scheduler_targets.size()) -
-                                       1))];
-            break;
-          }
-          fault.kind = FaultKind::kHeapsterDropout;
-          break;
-        }
-        fault.target = config.lease_targets[static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<std::int64_t>(
-                                   config.lease_targets.size()) -
-                                   1))];
-        break;
-      case FaultKind::kSplitBrainWindow:
-        if (config.lease_targets.empty()) {
-          if (!config.scheduler_targets.empty()) {
-            fault.kind = FaultKind::kSchedulerCrash;
-            fault.target = config.scheduler_targets[static_cast<std::size_t>(
-                rng.uniform_int(0, static_cast<std::int64_t>(
-                                       config.scheduler_targets.size()) -
-                                       1))];
-            break;
-          }
-          fault.kind = FaultKind::kHeapsterDropout;
-        }
+        fault.target = pick(rng, config.lease_targets);
         break;
       case FaultKind::kTsdbShardWriteError:
-        // Without shard targets (a 1-shard database) the equivalent
-        // disruption is the database-wide write error.
-        if (config.tsdb_shard_targets.empty()) {
-          fault.kind = FaultKind::kTsdbWriteError;
-          break;
-        }
-        fault.target = config.tsdb_shard_targets[static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<std::int64_t>(
-                                   config.tsdb_shard_targets.size()) -
-                                   1))];
-        break;
       case FaultKind::kTsdbShardStaleReads:
-        if (config.tsdb_shard_targets.empty()) {
-          fault.kind = FaultKind::kTsdbStaleReads;
-          break;
-        }
-        fault.target = config.tsdb_shard_targets[static_cast<std::size_t>(
-            rng.uniform_int(0, static_cast<std::int64_t>(
-                                   config.tsdb_shard_targets.size()) -
-                                   1))];
+        fault.target = pick(rng, config.tsdb_shard_targets);
         break;
       default:
+        // kSplitBrainWindow, the dropouts, database-wide TSDB kinds,
+        // watch disconnects, verifier outage and storms are untargeted.
         break;
     }
     plan.faults.push_back(std::move(fault));

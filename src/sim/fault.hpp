@@ -62,10 +62,22 @@ enum class FaultKind {
   /// One TSDB shard (target = decimal shard index) serves reads frozen at
   /// the activation instant while other shards stay live.
   kTsdbShardStaleReads,
+  /// The attestation verifier is unreachable: every quote verification
+  /// comes back Unavailable until heal. Cached verdicts keep serving until
+  /// they expire; expired nodes shed their SGX pods.
+  kAttestationVerifierOutage,
+  /// Quote verifications take `delay` longer than the healthy round-trip;
+  /// past the verifier timeout they fail as transient Timeout verdicts.
+  kAttestationSlowVerify,
+  /// Re-attestation storm: every cached node verdict soft-expires at the
+  /// activation instant, forcing cluster-wide re-verification at once (an
+  /// instantaneous event, like kLeaseExpiry — the duration only delays the
+  /// plan horizon).
+  kReattestationStorm,
 };
 
 /// Number of FaultKind values (random_plan draws uniformly over them).
-inline constexpr int kFaultKindCount = 12;
+inline constexpr int kFaultKindCount = 15;
 
 [[nodiscard]] const char* to_string(FaultKind kind);
 
@@ -118,7 +130,20 @@ struct RandomPlanConfig {
   /// kTsdbWriteError / kTsdbStaleReads, so 1-shard harness configs keep
   /// their plans.
   std::vector<std::string> tsdb_shard_targets;
+  /// True when the cluster under test runs attestation-gated admission.
+  /// False downgrades the attestation fault kinds (outage/storm →
+  /// kHeapsterDropout, slow-verify → kSampleDelay) so non-attesting
+  /// harness configs keep their plans.
+  bool attestation = false;
 };
+
+/// Resolves the kind a drawn fault downgrades to under `config` — the
+/// single table behind random_plan's per-kind fallbacks (a kind whose
+/// prerequisites the config lacks falls back to an always-available
+/// equivalent, chaining until one is available). Returns `kind` itself
+/// when its prerequisites hold.
+[[nodiscard]] FaultKind downgrade_for_config(FaultKind kind,
+                                             const RandomPlanConfig& config);
 
 /// Draws a randomized, fully-healing fault plan. Every draw comes from
 /// `rng`, so the plan is a pure function of the seed and the config.

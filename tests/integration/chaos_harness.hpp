@@ -55,6 +55,13 @@ struct ScenarioConfig {
   /// reads) to the random plan's draw targets. Only meaningful with
   /// tsdb_shards > 1 (random_plan downgrades them otherwise).
   bool tsdb_shard_faults = false;
+  /// Attestation-gated admission: the API server verdict cache plus
+  /// kubelet-side re-verification at bind delivery.
+  bool attestation = false;
+  /// Adds the attestation fault kinds (verifier outage, slow verify,
+  /// re-attestation storm) to the random plan's draws. Only meaningful
+  /// with attestation (random_plan downgrades them otherwise).
+  bool attestation_faults = false;
 };
 
 struct ScenarioResult {
@@ -79,6 +86,13 @@ struct ScenarioResult {
   std::uint64_t batches = 0;
   std::uint64_t steal_cycles = 0;
   std::uint64_t reshards = 0;
+  // Attestation counters (zero unless config.attestation).
+  std::uint64_t attestation_verifications = 0;  // gate quote round-trips
+  std::uint64_t attestation_hits = 0;           // fresh-verdict cache hits
+  std::uint64_t attestation_evictions = 0;      // pods shed on expiry/reject
+  std::uint64_t attestation_storms = 0;         // force_expire_all firings
+  std::uint64_t attestation_waits = 0;          // scheduler binds deferred
+  std::uint64_t degraded_admissions = 0;        // kubelet fail-open passes
   /// Invariant breaches observed during or after the run (empty = pass).
   std::vector<std::string> violations;
   /// The armed plan, for reproduction messages.
@@ -98,6 +112,7 @@ inline ScenarioResult run_scenario(std::uint64_t seed,
 
   ClusterConfig cluster_config;
   cluster_config.tsdb_shards = config.tsdb_shards;
+  cluster_config.attestation = config.attestation;
   SimulatedCluster cluster{cluster_config};
   const std::size_t replica_count =
       std::max<std::size_t>(1, config.scheduler_replicas);
@@ -173,6 +188,7 @@ inline ScenarioResult run_scenario(std::uint64_t seed,
       plan_config.tsdb_shard_targets.push_back(std::to_string(s));
     }
   }
+  plan_config.attestation = config.attestation && config.attestation_faults;
   Rng plan_rng = rng.split();
   const sim::FaultPlan plan = sim::random_plan(plan_rng, plan_config);
   result.plan = plan.describe();
@@ -205,6 +221,27 @@ inline ScenarioResult run_scenario(std::uint64_t seed,
               result.violations.push_back(
                   "pod " + pod + " active on two kubelets at " +
                   sgxo::to_string(cluster.sim().now().since_epoch()));
+            }
+          }
+        }
+        // Attestation invariant: no SGX pod keeps running on a node whose
+        // verdict is rejected or past its hard expiry (the gate's eviction
+        // enforcement must fire before this probe observes the breach).
+        if (const orch::AttestationGate* gate = cluster.attestation_gate();
+            gate != nullptr) {
+          for (cluster::Kubelet* kubelet : cluster.kubelets()) {
+            if (!kubelet->node().has_sgx()) continue;
+            for (const cluster::PodName& pod : kubelet->active_pods()) {
+              const orch::PodRecord& record = cluster.api().pod(pod);
+              if (record.phase != cluster::PodPhase::kRunning) continue;
+              if (!record.spec.wants_sgx()) continue;
+              if (!gate->allows_running(kubelet->node_name(),
+                                        cluster.sim().now())) {
+                result.violations.push_back(
+                    "SGX pod " + pod + " running on " + kubelet->node_name() +
+                    " with an expired/rejected attestation verdict at " +
+                    sgxo::to_string(cluster.sim().now().since_epoch()));
+              }
             }
           }
         }
@@ -244,6 +281,18 @@ inline ScenarioResult run_scenario(std::uint64_t seed,
     result.batches += replica->batches();
     result.steal_cycles += replica->steal_cycles();
     result.reshards += replica->reshards();
+    result.attestation_waits += replica->attestation_waits();
+  }
+  if (const orch::AttestationGate* gate = cluster.attestation_gate();
+      gate != nullptr) {
+    result.attestation_verifications = gate->verifications();
+    result.attestation_hits = gate->hits();
+    result.attestation_evictions = gate->evictions();
+    result.attestation_storms = gate->storms();
+    result.degraded_admissions = gate->degraded_admissions();
+    for (cluster::Kubelet* kubelet : cluster.kubelets()) {
+      result.degraded_admissions += kubelet->degraded_admissions();
+    }
   }
   result.bind_conflicts = cluster.api().bind_conflicts();
   result.guard_rejections = cluster.api().guard_rejections();

@@ -140,6 +140,60 @@ TEST_F(DescribeFixture, GetLeasesAndControlPlaneReport) {
   EXPECT_NE(text.find("sgx-binpack-0"), std::string::npos);
 }
 
+TEST_F(DescribeFixture, ControlPlaneOmitsAttestationWhenDisabled) {
+  const std::string text = describe_control_plane(
+      cluster_.api(), {scheduler_}, cluster_.sim().now());
+  EXPECT_EQ(text.find("Attestation cache:"), std::string::npos);
+}
+
+class AttestedDescribeFixture : public ::testing::Test {
+ protected:
+  AttestedDescribeFixture() {
+    exp::ClusterConfig config;
+    config.attestation = true;
+    cluster_.emplace(config);
+    scheduler_ = &cluster_->add_sgx_scheduler(core::PlacementPolicy::kBinpack);
+    cluster_->api().set_default_scheduler(scheduler_->name());
+    cluster_->start_monitoring();
+
+    cluster::PodBehavior behavior;
+    behavior.sgx = true;
+    behavior.actual_usage = 8_MiB;
+    behavior.duration = Duration::minutes(5);
+    cluster_->api().submit(cluster::make_stressor_pod(
+        "enclave-app", {0_B, Pages{2048}}, {0_B, Pages{2048}}, behavior));
+    cluster_->sim().run_until(TimePoint::epoch() + Duration::seconds(30));
+  }
+  ~AttestedDescribeFixture() override { cluster_->stop_all(); }
+
+  std::optional<exp::SimulatedCluster> cluster_;
+  core::SgxAwareScheduler* scheduler_ = nullptr;
+};
+
+TEST_F(AttestedDescribeFixture, ControlPlaneReportsTheVerdictCache) {
+  const std::string text = describe_control_plane(
+      cluster_->api(), {scheduler_}, cluster_->sim().now());
+  EXPECT_NE(text.find("Attestation cache:"), std::string::npos);
+  EXPECT_NE(text.find("hits="), std::string::npos);
+  // The bound pod's node holds an accepted verdict with its age.
+  EXPECT_NE(text.find("accepted age="), std::string::npos);
+  EXPECT_NE(text.find("expires-in="), std::string::npos);
+  // The scheduler deferred at least the first cycle on the cold cache.
+  EXPECT_NE(text.find("attestation_waits="), std::string::npos);
+  // Healthy cluster: nothing mid re-verification, no banner.
+  EXPECT_EQ(text.find("RE-ATTESTATION STORM"), std::string::npos);
+}
+
+TEST_F(AttestedDescribeFixture, StormBannerAppearsDuringMassReverification) {
+  AttestationGate& gate = *cluster_->api().attestation();
+  cluster_->attestation_verifier()->set_outage(true);
+  gate.force_expire_all();  // every node re-verifies at once, none resolves
+  const std::string text = describe_control_plane(
+      cluster_->api(), {scheduler_}, cluster_->sim().now());
+  EXPECT_NE(text.find("RE-ATTESTATION STORM"), std::string::npos);
+  EXPECT_NE(text.find("EXPIRED"), std::string::npos);
+}
+
 TEST_F(DescribeFixture, DescribeShowsFailureReason) {
   cluster::PodBehavior liar_behavior;
   liar_behavior.sgx = true;
